@@ -1,0 +1,87 @@
+"""Ablations — k-NN extension and the (1+eps)-approximate mode.
+
+Paper §5 notes "the extensions to k-NN and eps-range search are
+straightforward" and footnote 1 sketches the approximate variant of the
+exact algorithm.  Both are implemented; these benchmarks quantify them:
+
+* k-sweep: per-query work of exact RBC as k grows 1..32, vs the k-free
+  cost of brute force (whose work is n regardless of k);
+* eps-sweep: work saved and realized quality as the exact search's
+  pruning threshold is relaxed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import bench_once
+
+from repro.core import ExactRBC
+from repro.data import load
+from repro.eval import distance_ratio, format_table
+from repro.parallel import bf_knn
+
+N_QUERIES = 300
+
+
+def k_sweep():
+    X, Q = load("robot", scale=0.1, n_queries=N_QUERIES, max_n=20_000)
+    n = X.shape[0]
+    rbc = ExactRBC(seed=0).build(X, n_reps=int(3 * n**0.5))
+    rows = []
+    for k in (1, 2, 4, 8, 16, 32):
+        d, _ = rbc.query(Q, k=k)
+        td, _ = bf_knn(Q, X, k=k)
+        assert np.allclose(d, td, atol=1e-9)
+        w = rbc.last_stats.per_query_evals()
+        rows.append([k, w, n / w])
+    return rows
+
+
+def eps_sweep():
+    X, Q = load("bio", scale=0.1, n_queries=N_QUERIES, max_n=20_000)
+    n = X.shape[0]
+    rbc = ExactRBC(seed=0).build(X, n_reps=int(4 * n**0.5))
+    true_d, _ = bf_knn(Q, X, k=1)
+    rows = []
+    for eps in (0.0, 0.05, 0.1, 0.25, 0.5, 1.0, 2.0):
+        d, _ = rbc.query(Q, k=1, approx_eps=eps)
+        ratio = distance_ratio(d, true_d)
+        w = rbc.last_stats.per_query_evals()
+        rows.append([eps, w, n / w, ratio, 1.0 + eps])
+        assert ratio <= 1.0 + eps + 1e-9  # the guarantee holds
+    return rows
+
+
+def test_ablation_k_and_eps(benchmark, report):
+    krows, erows = bench_once(benchmark, lambda: (k_sweep(), eps_sweep()))
+    text = "\n\n".join(
+        [
+            format_table(
+                ["k", "evals/query", "work reduction vs brute"],
+                krows,
+                title="k-NN sweep: exact RBC work vs k (robot analog)",
+            ),
+            format_table(
+                ["approx eps", "evals/query", "work reduction",
+                 "measured dist ratio", "guaranteed bound"],
+                erows,
+                title=(
+                    "(1+eps)-approximate exact search (bio analog): work "
+                    "saved vs realized quality"
+                ),
+            ),
+        ]
+    )
+    report("ablation_knn_approx", text)
+
+    # k grows work sublinearly: 32x more neighbors < 16x more work
+    assert krows[-1][1] < 16 * krows[0][1]
+    # and every k stays below brute force
+    for _, w, red in krows:
+        assert red > 1.0
+    # relaxing eps monotonically reduces work...
+    works = [r[1] for r in erows]
+    assert all(b <= a + 1e-9 for a, b in zip(works, works[1:]))
+    # ...and the realized quality stays far better than the worst case
+    assert erows[-1][3] < 1.2  # eps=2 bound allows 3.0; measured << that

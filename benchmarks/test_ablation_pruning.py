@@ -1,0 +1,71 @@
+"""Ablation — contribution of each pruning rule in the exact search.
+
+The paper states (§6.1) that using inequalities (1) and (2) *together*
+improved empirical performance even though the theory only needs one, and
+that sorted ownership lists allow skipping points beyond the Claim-2 bound
+(footnote 2).  This ablation quantifies each rule's contribution: stage-2
+distance evaluations with every combination of
+{psi rule, 3-gamma rule, sorted-list trim}.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_once
+
+from repro.core import ExactRBC
+from repro.data import load
+from repro.eval import format_table
+
+WORKLOADS = [("bio", 20_000), ("robot", 20_000), ("tiny8", 20_000)]
+N_QUERIES = 300
+
+CONFIGS = [
+    ("none", dict(use_psi_rule=False, use_3gamma_rule=False, use_trim=False)),
+    ("psi only", dict(use_psi_rule=True, use_3gamma_rule=False, use_trim=False)),
+    ("3gamma only", dict(use_psi_rule=False, use_3gamma_rule=True, use_trim=False)),
+    ("psi + 3gamma", dict(use_psi_rule=True, use_3gamma_rule=True, use_trim=False)),
+    ("all (paper)", dict(use_psi_rule=True, use_3gamma_rule=True, use_trim=True)),
+]
+
+
+def run_dataset(name: str, max_n: int):
+    X, Q = load(name, scale=0.1, n_queries=N_QUERIES, max_n=max_n)
+    rbc = ExactRBC(seed=0).build(X, n_reps=int(4 * X.shape[0] ** 0.5))
+    out = []
+    baseline = None
+    for label, flags in CONFIGS:
+        d, _ = rbc.query(Q, k=1, **flags)
+        evals = rbc.last_stats.stage2_evals / N_QUERIES
+        if baseline is None:
+            baseline = evals
+        out.append([name, label, evals, baseline / evals])
+    return out
+
+
+def test_ablation_pruning_rules(benchmark, report):
+    tables = bench_once(
+        benchmark, lambda: [run_dataset(*w) for w in WORKLOADS]
+    )
+    rows = [row for table in tables for row in table]
+    report(
+        "ablation_pruning",
+        format_table(
+            ["dataset", "rules", "stage-2 evals/query", "reduction vs none"],
+            rows,
+            title=(
+                "Ablation: pruning-rule contributions in exact search\n"
+                "(paper: both inequalities used simultaneously, plus the "
+                "sorted-list trim)"
+            ),
+        ),
+    )
+    for table in tables:
+        by = {row[1]: row[2] for row in table}
+        # each rule alone must beat no rules; all together must be best
+        assert by["psi only"] <= by["none"]
+        assert by["3gamma only"] <= by["none"]
+        assert by["all (paper)"] <= by["psi only"] + 1e-9
+        assert by["all (paper)"] <= by["3gamma only"] + 1e-9
+        assert by["all (paper)"] <= by["psi + 3gamma"] + 1e-9
+        # and the full rule set must be a substantial win on these datasets
+        assert by["none"] / by["all (paper)"] > 2.0

@@ -1,0 +1,74 @@
+"""Extension — two-level RBC: sub-sqrt(n) query work.
+
+Not in the paper (which is deliberately single-level); this is the natural
+recursive continuation of its construction.  The benchmark measures the
+work/accuracy position of the two-level one-shot cover against the flat
+one-shot at the Theorem-2-flavoured sizes, across database sizes, to show
+where the extra level starts paying.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import bench_once
+
+from repro.core import HierarchicalOneShotRBC, OneShotRBC
+from repro.data import manifold
+from repro.eval import format_table
+from repro.parallel import bf_knn
+
+SIZES = (8_000, 27_000, 64_000)
+N_QUERIES = 300
+
+
+def run_size(n: int):
+    full = manifold(n + N_QUERIES, 12, 3, seed=13)
+    X, Q = full[:n], full[n:]
+    true_d, _ = bf_knn(Q, X, k=1)
+
+    def hit_rate(d):
+        return float(np.isclose(d[:, 0], true_d[:, 0], atol=1e-9).mean())
+
+    flat = OneShotRBC(seed=0, rep_scheme="exact").build(
+        X, n_reps=int(n**0.5), s=int(n**0.5)
+    )
+    fd, _ = flat.query(Q, k=1)
+    flat_work = flat.last_stats.per_query_evals()
+
+    hier = HierarchicalOneShotRBC(seed=0).build(X)
+    h1, _ = hier.query(Q, k=1, n_probes=1)
+    work1 = hier.last_stats.per_query_evals()
+    h3, _ = hier.query(Q, k=1, n_probes=3)
+    work3 = hier.last_stats.per_query_evals()
+
+    return [
+        [n, "flat sqrt(n)", flat_work, hit_rate(fd)],
+        [n, "two-level (1 probe)", work1, hit_rate(h1)],
+        [n, "two-level (3 probes)", work3, hit_rate(h3)],
+    ]
+
+
+def test_ext_hierarchical(benchmark, report):
+    tables = bench_once(benchmark, lambda: [run_size(n) for n in SIZES])
+    rows = [row for t in tables for row in t]
+    report(
+        "ext_hierarchical",
+        format_table(
+            ["n", "structure", "evals/query", "NN hit rate"],
+            rows,
+            title=(
+                "Extension: two-level one-shot RBC vs flat one-shot\n"
+                "(3-d manifold; two-level work grows ~n^(1/3) vs sqrt(n))"
+            ),
+        ),
+    )
+    for t in tables:
+        flat, one_probe, three_probe = t
+        # like-for-like (single routed list): less work at every size...
+        assert one_probe[2] < flat[2], t
+        # ...and the probe dial buys back accuracy past the flat curve
+        assert three_probe[3] >= flat[3], t
+    # the work advantage grows with n (the n^{1/3} vs sqrt(n) claim)
+    ratios = [t[0][2] / t[1][2] for t in tables]
+    assert ratios[-1] > ratios[0]

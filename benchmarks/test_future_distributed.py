@@ -1,0 +1,89 @@
+"""Future work (§8) — the RBC in a distributed / multi-GPU environment.
+
+The paper closes by proposing to distribute "the database according to the
+representatives" and to study "I/O and communication costs".  This
+benchmark runs that study on the cluster model:
+
+* node-count scaling of distributed RBC vs broadcast brute force (CPU
+  nodes), with the modeled time split into coordinator / scatter / node
+  compute / gather / merge;
+* sharding ablation: representative-sharding routes each query to the few
+  nodes that can own its answer, so its communication shrinks relative to
+  random-shard broadcast as the cluster grows;
+* the multi-GPU variant (Tesla c2050 nodes), which the paper names
+  explicitly.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_once
+
+from repro.data import load
+from repro.distributed import ClusterSpec, DistributedBruteForce, DistributedRBC
+from repro.eval import format_table
+from repro.parallel import bf_knn
+from repro.simulator import DESKTOP_QUAD, TESLA_C2050
+
+N_QUERIES = 400
+NODE_COUNTS = (1, 2, 4, 8, 16)
+
+
+def run(node_spec, label):
+    X, Q = load("robot", scale=0.1, n_queries=N_QUERIES, max_n=40_000)
+    true_d, _ = bf_knn(Q, X, k=1)
+    rows = []
+    for n_nodes in NODE_COUNTS:
+        cluster = ClusterSpec.homogeneous(n_nodes, node_spec)
+        rbc = DistributedRBC(cluster, seed=0).build(
+            X, n_reps=int(3 * X.shape[0] ** 0.5)
+        )
+        d, _ = rbc.query(Q, k=1)
+        assert abs(d - true_d).max() < 1e-6  # distributed answers exact
+        bf = DistributedBruteForce(cluster, seed=0).build(X)
+        d2, _ = bf.query(Q, k=1)
+        assert abs(d2 - true_d).max() < 1e-6
+        rr, rb = rbc.last_report, bf.last_report
+        rows.append(
+            [
+                label,
+                n_nodes,
+                rb.total_s * 1e3,
+                rr.total_s * 1e3,
+                rb.total_s / rr.total_s,
+                rr.comm_fraction,
+                rb.comm.total_bytes / max(rr.comm.total_bytes, 1.0),
+                rr.balance,
+            ]
+        )
+    return rows
+
+
+def test_future_work_distributed(benchmark, report):
+    cpu_rows, gpu_rows = bench_once(
+        benchmark,
+        lambda: (run(DESKTOP_QUAD, "quad-CPU"), run(TESLA_C2050, "c2050-GPU")),
+    )
+    rows = cpu_rows + gpu_rows
+    report(
+        "future_distributed",
+        format_table(
+            ["nodes of", "n", "bcast-BF ms", "dist-RBC ms", "RBC x",
+             "RBC comm frac", "BF/RBC bytes", "balance"],
+            rows,
+            title=(
+                "Future work (paper §8): distributed RBC vs broadcast brute"
+                " force\n(robot analog, n=40k, 400 queries; representative-"
+                "sharded vs random-sharded)"
+            ),
+        ),
+    )
+    for rows_ in (cpu_rows, gpu_rows):
+        by_nodes = {r[1]: r for r in rows_}
+        # the RBC wins at every cluster size
+        for n_nodes in NODE_COUNTS:
+            assert by_nodes[n_nodes][4] > 1.0, f"{n_nodes} nodes: RBC lost"
+        # representative sharding moves fewer bytes than broadcast, and
+        # its advantage grows with the cluster (broadcast traffic ~ nodes)
+        assert by_nodes[16][6] > by_nodes[2][6]
+        # LPT placement keeps nodes balanced
+        assert by_nodes[16][7] > 0.5

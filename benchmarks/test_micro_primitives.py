@@ -1,0 +1,90 @@
+"""Microbenchmarks — host wall-clock of the hot kernels.
+
+Unlike the table/figure benchmarks (which model the paper's hardware),
+these time the actual Python/NumPy kernels on the host, the numbers a
+downstream user of this library experiences.  They also guard against
+performance regressions: pytest-benchmark stores timings for comparison
+across runs (``--benchmark-autosave`` / ``--benchmark-compare``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ExactRBC, OneShotRBC
+from repro.data import manifold
+from repro.metrics import EditDistance, get_metric
+from repro.parallel import bf_knn, merge_topk, topk_of_block
+
+
+@pytest.fixture(scope="module")
+def vectors():
+    full = manifold(20_200, 32, 3, seed=21)
+    return full[:20_000], full[20_000:20_100]
+
+
+def test_micro_pairwise_euclidean(benchmark, vectors):
+    X, Q = vectors
+    m = get_metric("euclidean")
+    D = benchmark(lambda: m.pairwise(Q, X))
+    assert D.shape == (100, 20_000)
+
+
+def test_micro_pairwise_manhattan(benchmark, vectors):
+    X, Q = vectors
+    m = get_metric("manhattan")
+    D = benchmark(lambda: m.pairwise(Q, X[:5_000]))
+    assert D.shape == (100, 5_000)
+
+
+def test_micro_edit_distance_batch(benchmark):
+    from repro.data import random_strings
+
+    S = random_strings(2_000, seed=3)
+    m = EditDistance()
+    D = benchmark(lambda: m.pairwise(S[:4], S))
+    assert D.shape == (4, 2_000)
+
+
+def test_micro_topk_selection(benchmark, rng):
+    D = rng.normal(size=(100, 20_000))
+    d, i = benchmark(lambda: topk_of_block(D, 10))
+    assert d.shape == (100, 10)
+
+
+def test_micro_topk_merge(benchmark, rng):
+    a = topk_of_block(rng.normal(size=(500, 64)), 16)
+    b = topk_of_block(rng.normal(size=(500, 64)), 16)
+    d, i = benchmark(lambda: merge_topk(a, b))
+    assert d.shape == (500, 16)
+
+
+def test_micro_bf_knn(benchmark, vectors):
+    X, Q = vectors
+    d, i = benchmark(lambda: bf_knn(Q, X, k=10))
+    assert d.shape == (100, 10)
+
+
+def test_micro_exact_rbc_query(benchmark, vectors):
+    X, Q = vectors
+    index = ExactRBC(seed=0).build(X, n_reps=500)
+    d, i = benchmark(lambda: index.query(Q, k=10))
+    assert d.shape == (100, 10)
+
+
+def test_micro_oneshot_rbc_query(benchmark, vectors):
+    X, Q = vectors
+    index = OneShotRBC(seed=0, rep_scheme="exact").build(X, n_reps=500, s=500)
+    d, i = benchmark(lambda: index.query(Q, k=10))
+    assert d.shape == (100, 10)
+
+
+def test_micro_exact_rbc_build(benchmark, vectors):
+    X, _ = vectors
+
+    def build():
+        return ExactRBC(seed=0).build(X, n_reps=500)
+
+    index = benchmark.pedantic(build, rounds=3, iterations=1)
+    assert index.is_built

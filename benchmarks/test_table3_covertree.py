@@ -1,0 +1,105 @@
+"""Table 3 — Cover Tree vs exact RBC on a quad-core desktop.
+
+The paper's Table 3 reports total query time for 10k queries: the Cover
+Tree (state-of-the-art sequential search, single core — the available
+implementation is single-core and the paper argues parallelizing it buys
+little) against the exact RBC using the whole quad-core machine.  Paper
+outcome: RBC wins on the three largest datasets (up to ~6x on tiny16/32);
+the Cover Tree wins only on the very-low-intrinsic-dimension cases
+(Covertype, tiny4), where its pruning is overwhelming.
+
+Reproduction: our from-scratch Cover Tree's query trace is replayed on the
+single-core desktop model, the RBC's on the full quad-core model.  At this
+repo's database scale (6k points vs the paper's 0.1M-1M) the Cover Tree's
+log(n)-vs-sqrt(n) advantage has not kicked in, so the asserted shape is
+the ordering: the Cover Tree is *relatively* strongest exactly where the
+paper finds it strongest (tiny4, cov), weakest on the high-dimensional
+datasets.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_once
+
+from repro.baselines import CoverTree
+from repro.core import ExactRBC
+from repro.data import load
+from repro.eval import format_table, traced_query
+from repro.simulator import DESKTOP_QUAD, SEQUENTIAL
+
+#: (dataset, paper Cover Tree seconds, paper RBC seconds) from Table 3
+WORKLOADS = [
+    ("bio", 18.9, 6.4),
+    ("cov", 0.4, 1.1),
+    ("phy", 1.9, 1.7),
+    ("robot", 4.6, 5.1),
+    ("tiny4", 0.5, 1.2),
+    ("tiny8", 14.6, 3.3),
+    ("tiny16", 178.9, 25.1),
+    ("tiny32", 387.0, 67.9),
+]
+
+N = 6_000
+N_QUERIES = 200
+
+
+def run_dataset(name: str, paper_ct: float, paper_rbc: float):
+    X, Q = load(name, scale=0.1, n_queries=N_QUERIES, max_n=N)
+    n = X.shape[0]
+
+    ct = CoverTree().build(X)
+    ct_run = traced_query(ct, Q, [SEQUENTIAL], k=1)
+
+    rbc = ExactRBC(seed=0).build(X, n_reps=int(4 * n**0.5))
+    rbc_run = traced_query(rbc, Q, [DESKTOP_QUAD], k=1)
+
+    assert abs(ct_run.dist - rbc_run.dist).max() < 1e-6  # both exact
+
+    ct_t = ct_run.sim_time(SEQUENTIAL)
+    rbc_t = rbc_run.sim_time(DESKTOP_QUAD)
+    return {
+        "name": name,
+        "n": n,
+        "ct_evals": ct_run.evals / N_QUERIES,
+        "rbc_evals": rbc_run.evals / N_QUERIES,
+        "ct_ms": ct_t * 1e3,
+        "rbc_ms": rbc_t * 1e3,
+        "rbc_adv": ct_t / rbc_t,
+        "paper_adv": paper_ct / paper_rbc,
+    }
+
+
+def test_table3_covertree_vs_rbc(benchmark, report):
+    results = bench_once(
+        benchmark, lambda: [run_dataset(*w) for w in WORKLOADS]
+    )
+    rows = [
+        [r["name"], r["n"], r["ct_evals"], r["rbc_evals"], r["ct_ms"],
+         r["rbc_ms"], r["rbc_adv"], r["paper_adv"]]
+        for r in results
+    ]
+    report(
+        "table3_covertree",
+        format_table(
+            ["dataset", "n", "CT evals/q", "RBC evals/q",
+             "CT 1-core ms", "RBC 4-core ms", "RBC adv x", "paper adv x"],
+            rows,
+            title=(
+                "Table 3: Cover Tree (1 core) vs exact RBC (quad-core "
+                "model), batch of 200 queries\n(paper: total seconds for "
+                "10k queries at 17x-170x larger n)"
+            ),
+        ),
+    )
+    by = {r["name"]: r for r in results}
+    # the Cover Tree's strongholds in the paper (cov, tiny4) must be where
+    # the RBC's advantage is smallest here too
+    weakest_two = sorted(results, key=lambda r: r["rbc_adv"])[:2]
+    assert {r["name"] for r in weakest_two} <= {"cov", "tiny4", "robot"}
+    # and the paper's big RBC wins (tiny16/32, bio) show a clear advantage
+    for name in ("bio", "tiny16", "tiny32"):
+        assert by[name]["rbc_adv"] > 1.0, f"{name}: RBC should win"
+    # the Cover Tree prunes better than the RBC everywhere (it is the
+    # stronger sequential algorithm; the RBC wins on hardware fit)
+    for r in results:
+        assert r["ct_evals"] < r["rbc_evals"]

@@ -1,0 +1,107 @@
+"""Theory section (§6) — quantitative checks of Claims 1-2, Theorems 1-2.
+
+Not a table in the paper, but the paper's evaluation rests on these
+predictions; this benchmark regenerates them as measured-vs-predicted
+tables so EXPERIMENTS.md can record how tight the theory is on real runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import bench_once
+
+from repro.core import ExactRBC, OneShotRBC, oneshot_params, sample_representatives
+from repro.data import load, manifold
+from repro.dimension import estimate_expansion_rate
+from repro.eval import format_table
+from repro.metrics import get_metric
+from repro.parallel import bf_knn
+
+
+def claim1_rows():
+    """Claim 1: E|B(q, gamma)| = n / n_r, for any data distribution."""
+    X, Q = load("bio", scale=0.05, n_queries=100, max_n=8000)
+    n = X.shape[0]
+    metric = get_metric("euclidean")
+    D = metric.pairwise(Q, X)
+    rows = []
+    rng = np.random.default_rng(5)
+    for n_r in (50, 100, 200, 400):
+        counts = []
+        for _ in range(20):
+            reps = sample_representatives(n, n_r, rng, scheme="bernoulli")
+            gamma = D[:, reps].min(axis=1)
+            counts.append((D < gamma[:, None]).sum(axis=1).mean())
+        rows.append([n_r, n / n_r, float(np.mean(counts))])
+    return rows
+
+
+def theorem1_rows():
+    """Theorem 1: second-stage work is O(c^3 n / n_r); with n_r ~ sqrt(n)
+    the total work grows like sqrt(n)."""
+    rows = []
+    for n in (2_000, 8_000, 32_000):
+        full = manifold(n + 100, 16, 3, noise=0.0, seed=11)
+        X, Q = full[:n], full[n:]
+        rbc = ExactRBC(seed=0).build(X)  # standard n_r = sqrt(n)
+        rbc.query(Q, k=1)
+        w = rbc.last_stats.per_query_evals()
+        rows.append([n, rbc.n_reps, w, w / np.sqrt(n)])
+    return rows
+
+
+def theorem2_rows():
+    """Theorem 2: failure probability of one-shot <= delta at the
+    prescribed parameter setting."""
+    X, Q = load("cov", scale=0.05, n_queries=300, max_n=12_000)
+    n = X.shape[0]
+    c = min(estimate_expansion_rate(X, n_centers=32, seed=0).c_median, 4.0)
+    true_d, _ = bf_knn(Q, X, k=1)
+    rows = []
+    for delta in (0.5, 0.2, 0.05):
+        nr, s = oneshot_params(n, c=c, delta=delta)
+        rbc = OneShotRBC(seed=3).build(X, n_reps=nr, s=s)
+        d, _ = rbc.query(Q, k=1)
+        fail = float((d[:, 0] > true_d[:, 0] + 1e-9).mean())
+        rows.append([delta, nr, fail])
+    return rows
+
+
+def test_theory_predictions(benchmark, report):
+    c1, t1, t2 = bench_once(
+        benchmark, lambda: (claim1_rows(), theorem1_rows(), theorem2_rows())
+    )
+    text = "\n\n".join(
+        [
+            format_table(
+                ["n_r", "predicted E|B(q,gamma)| = n/n_r", "measured"],
+                c1,
+                title="Claim 1: expected ball size (bio analog, n=8000)",
+            ),
+            format_table(
+                ["n", "n_r = sqrt(n)", "evals/query", "evals / sqrt(n)"],
+                t1,
+                title=(
+                    "Theorem 1: total work scales ~ sqrt(n) at the standard"
+                    " setting\n(the last column should stay near-constant)"
+                ),
+            ),
+            format_table(
+                ["delta", "n_r = s", "measured failure rate"],
+                t2,
+                title="Theorem 2: one-shot failure rate is below delta",
+            ),
+        ]
+    )
+    report("theory_claims", text)
+
+    # Claim 1 within 30% of prediction for every n_r
+    for n_r, pred, meas in c1:
+        assert abs(meas - pred) / pred < 0.3, (n_r, pred, meas)
+    # Theorem 1: work/sqrt(n) varies by < 3x over a 16x range of n
+    ratios = [row[3] for row in t1]
+    assert max(ratios) / min(ratios) < 3.0, ratios
+    # Theorem 2: measured failure below delta (+ sampling slack)
+    for delta, _, fail in t2:
+        assert fail <= delta + 0.05, (delta, fail)

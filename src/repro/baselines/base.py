@@ -1,0 +1,30 @@
+"""Common interface for all search indexes (RBC and baselines)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..simulator.trace import NULL_RECORDER, TraceRecorder
+
+__all__ = ["Index"]
+
+
+class Index:
+    """Protocol shared by every index: ``build(X)`` then ``query(Q, k)``.
+
+    ``query`` returns ``(dist, idx)`` arrays of shape ``(m, k)`` with rows
+    sorted ascending by distance, padded with ``inf`` / ``-1`` when fewer
+    than ``k`` results exist.  All implementations count their distance
+    evaluations in ``self.metric.counter`` and can record operation traces
+    for the machine models.
+    """
+
+    metric = None
+
+    def build(self, X, *, recorder: TraceRecorder = NULL_RECORDER) -> "Index":
+        raise NotImplementedError
+
+    def query(
+        self, Q, k: int = 1, *, recorder: TraceRecorder = NULL_RECORDER
+    ) -> tuple[np.ndarray, np.ndarray]:
+        raise NotImplementedError

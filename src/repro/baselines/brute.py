@@ -1,0 +1,67 @@
+"""Brute-force search as an index-shaped baseline.
+
+This is the comparator for every speedup figure in the paper: on manycore
+hardware brute force is "already quite fast because of the raw
+computational power" (§7.2), so beating it is the meaningful test.  The
+class simply wraps the brute-force primitive behind the same
+``build``/``query`` interface as the RBC structures and the tree baselines,
+so harness code treats all indexes uniformly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..metrics import get_metric
+from ..metrics.base import Metric
+from ..parallel.bruteforce import bf_knn, bf_range
+from ..simulator.trace import NULL_RECORDER, TraceRecorder
+from .base import Index
+
+__all__ = ["BruteForceIndex"]
+
+
+class BruteForceIndex(Index):
+    """Exhaustive k-NN: one ``BF(Q, X)`` call per query batch."""
+
+    def __init__(
+        self,
+        metric: str | Metric = "euclidean",
+        *,
+        executor=None,
+    ) -> None:
+        self.metric = get_metric(metric)
+        self.executor = executor
+        self.X = None
+        self.n = 0
+
+    def build(self, X, *, recorder: TraceRecorder = NULL_RECORDER):
+        """Store the database (no preprocessing)."""
+        self.X = X
+        self.n = self.metric.length(X)
+        return self
+
+    def query(
+        self, Q, k: int = 1, *, recorder: TraceRecorder = NULL_RECORDER, **bf_kwargs
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Extra ``bf_kwargs`` (``tile_cols``, ``row_chunk``) reach
+        :func:`~repro.parallel.bruteforce.bf_knn`; benchmarks use them to
+        set the parallel grain the machine models schedule."""
+        if self.X is None:
+            raise RuntimeError("call build(X) first")
+        return bf_knn(
+            Q,
+            self.X,
+            self.metric,
+            k=k,
+            executor=self.executor,
+            recorder=recorder,
+            **bf_kwargs,
+        )
+
+    def range_query(
+        self, Q, eps: float, *, recorder: TraceRecorder = NULL_RECORDER
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        if self.X is None:
+            raise RuntimeError("call build(X) first")
+        return bf_range(Q, self.X, eps, self.metric, recorder=recorder)

@@ -1,0 +1,239 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Registry contents: paper-analog datasets, metrics, machine presets.
+``build``
+    Build an RBC index from a ``.npy`` array or a registry dataset name
+    and save it to ``.npz``.
+``query``
+    Load a saved index and run k-NN queries from a ``.npy`` file; prints
+    neighbors and work statistics.
+``dim``
+    Estimate the expansion rate (Definition 1) of a dataset.
+``compare``
+    Quick exact-RBC vs brute-force comparison on a dataset — a one-command
+    taste of Figure 2.
+``knn-graph``
+    Build the exact k-NN graph of a dataset (RBC-accelerated all-k-NN)
+    and save the ``(dist, idx)`` arrays to ``.npz``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+__all__ = ["main"]
+
+
+def _load_data(spec: str, scale: float, n_queries: int):
+    """Resolve a data spec: registry dataset name or a .npy path."""
+    from .data import DATASETS, load
+
+    if spec in DATASETS:
+        return load(spec, scale=scale, n_queries=n_queries)
+    X = np.load(spec)
+    if X.ndim != 2:
+        raise SystemExit(f"expected a 2-d array in {spec}, got shape {X.shape}")
+    return X, None
+
+
+def _cmd_info(args) -> int:
+    from .data import table1_rows
+    from .eval import format_table
+    from .metrics import available_metrics
+    from .simulator import AMD_48CORE, DESKTOP_QUAD, SEQUENTIAL, TESLA_C2050
+
+    print(
+        format_table(
+            ["dataset", "paper n", "n @ default scale", "dim", "intrinsic"],
+            [list(r) for r in table1_rows()],
+            title="Paper-analog datasets (Table 1)",
+        )
+    )
+    print("\nmetrics:", ", ".join(available_metrics()))
+    print("\nmachine models:")
+    for m in (AMD_48CORE, DESKTOP_QUAD, SEQUENTIAL, TESLA_C2050):
+        print(
+            f"  {m.name:20s} workers={m.n_workers:3d} "
+            f"peak={m.peak_gflops:7.1f} GFLOP/s "
+            f"bw={m.mem_bandwidth_gbs:g} GB/s"
+        )
+    return 0
+
+
+def _cmd_build(args) -> int:
+    from .core import ExactRBC, OneShotRBC, save_index
+
+    X, _ = _load_data(args.data, args.scale, n_queries=0)
+    t0 = time.perf_counter()
+    if args.algorithm == "exact":
+        index = ExactRBC(metric=args.metric, seed=args.seed)
+        index.build(X, n_reps=args.n_reps)
+    else:
+        index = OneShotRBC(metric=args.metric, seed=args.seed)
+        index.build(X, n_reps=args.n_reps, s=args.s)
+    elapsed = time.perf_counter() - t0
+    save_index(index, args.output)
+    bs = index.build_stats
+    print(
+        f"built {args.algorithm} RBC over {bs.n_points} points: "
+        f"{bs.n_reps} representatives, mean list {bs.mean_list:.1f}, "
+        f"{bs.build_evals} distance evaluations, {elapsed:.2f}s"
+    )
+    print(f"saved to {args.output}")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    from .core import load_index
+
+    index = load_index(args.index)
+    Q = np.load(args.queries)
+    t0 = time.perf_counter()
+    dist, idx = index.query(np.atleast_2d(Q), k=args.k)
+    elapsed = time.perf_counter() - t0
+    st = index.last_stats
+    for r in range(min(dist.shape[0], args.show)):
+        pairs = ", ".join(
+            f"#{int(i)} @ {d:.4g}" for d, i in zip(dist[r], idx[r]) if i >= 0
+        )
+        print(f"query {r}: {pairs}")
+    print(
+        f"\n{dist.shape[0]} queries in {elapsed:.3f}s; "
+        f"{st.per_query_evals():.0f} distance evaluations/query "
+        f"(database holds {index.n})"
+    )
+    return 0
+
+
+def _cmd_dim(args) -> int:
+    from .dimension import estimate_expansion_rate
+
+    X, _ = _load_data(args.data, args.scale, n_queries=0)
+    est = estimate_expansion_rate(
+        X, args.metric, n_centers=args.centers, seed=args.seed
+    )
+    print(
+        f"expansion rate c = {est.c:.2f} (median {est.c_median:.2f}, "
+        f"max {est.c_max:.2f}) over {est.n_centers} centers"
+    )
+    print(f"growth dimension log2(c) = {est.log2_c:.2f}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from .baselines import BruteForceIndex
+    from .core import ExactRBC
+    from .eval import traced_query
+    from .simulator import AMD_48CORE
+
+    X, Q = _load_data(args.data, args.scale, n_queries=args.queries)
+    if Q is None:
+        rng = np.random.default_rng(args.seed)
+        take = rng.choice(X.shape[0], size=args.queries, replace=False)
+        Q = X[take]
+    brute = BruteForceIndex().build(X)
+    b = traced_query(brute, Q, [AMD_48CORE], k=args.k, tile_cols=2048)
+    rbc = ExactRBC(seed=args.seed).build(X, n_reps=args.n_reps)
+    r = traced_query(rbc, Q, [AMD_48CORE], k=args.k)
+    same = bool(np.allclose(b.dist, r.dist, atol=1e-6))
+    print(f"database {X.shape[0]} x {X.shape[1]}, {Q.shape[0]} queries, k={args.k}")
+    print(f"answers identical: {same}")
+    print(f"work:        brute {b.evals:>12d} evals | rbc {r.evals:>12d} "
+          f"({b.evals / r.evals:.1f}x less)")
+    print(
+        f"48-core sim: brute {b.sim_time(AMD_48CORE) * 1e3:9.3f} ms | rbc "
+        f"{r.sim_time(AMD_48CORE) * 1e3:9.3f} ms "
+        f"({b.sim_time(AMD_48CORE) / r.sim_time(AMD_48CORE):.1f}x faster)"
+    )
+    return 0
+
+
+def _cmd_knn_graph(args) -> int:
+    from .core.knngraph import knn_graph
+
+    X, _ = _load_data(args.data, args.scale, n_queries=0)
+    t0 = time.perf_counter()
+    dist, idx = knn_graph(X, args.k, metric=args.metric, seed=args.seed)
+    elapsed = time.perf_counter() - t0
+    np.savez_compressed(args.output, dist=dist, idx=idx)
+    print(
+        f"{args.k}-NN graph over {X.shape[0]} points in {elapsed:.2f}s; "
+        f"saved dist/idx arrays to {args.output}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Random Ball Cover nearest-neighbor search (Cayton, IPPS 2012)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="list datasets, metrics, machine models")
+
+    b = sub.add_parser("build", help="build and save an RBC index")
+    b.add_argument("data", help="dataset name (see `info`) or .npy path")
+    b.add_argument("-o", "--output", required=True, help="output .npz path")
+    b.add_argument("--algorithm", choices=["exact", "oneshot"], default="exact")
+    b.add_argument("--metric", default="euclidean")
+    b.add_argument("--n-reps", type=int, default=None)
+    b.add_argument("--s", type=int, default=None, help="one-shot list size")
+    b.add_argument("--scale", type=float, default=0.05)
+    b.add_argument("--seed", type=int, default=0)
+
+    q = sub.add_parser("query", help="query a saved index")
+    q.add_argument("index", help=".npz file written by `build`")
+    q.add_argument("queries", help=".npy file of query points")
+    q.add_argument("-k", type=int, default=1)
+    q.add_argument("--show", type=int, default=5, help="queries to print")
+
+    d = sub.add_parser("dim", help="estimate the expansion rate")
+    d.add_argument("data", help="dataset name or .npy path")
+    d.add_argument("--metric", default="euclidean")
+    d.add_argument("--centers", type=int, default=64)
+    d.add_argument("--scale", type=float, default=0.01)
+    d.add_argument("--seed", type=int, default=0)
+
+    c = sub.add_parser("compare", help="exact RBC vs brute force, one command")
+    c.add_argument("data", help="dataset name or .npy path")
+    c.add_argument("-k", type=int, default=1)
+    c.add_argument("--queries", type=int, default=200)
+    c.add_argument("--n-reps", type=int, default=None)
+    c.add_argument("--scale", type=float, default=0.05)
+    c.add_argument("--seed", type=int, default=0)
+
+    g = sub.add_parser("knn-graph", help="all-k-NN graph of a dataset")
+    g.add_argument("data", help="dataset name or .npy path")
+    g.add_argument("-o", "--output", required=True, help="output .npz path")
+    g.add_argument("-k", type=int, default=8)
+    g.add_argument("--metric", default="euclidean")
+    g.add_argument("--scale", type=float, default=0.01)
+    g.add_argument("--seed", type=int, default=0)
+    return p
+
+
+_HANDLERS = {
+    "info": _cmd_info,
+    "build": _cmd_build,
+    "query": _cmd_query,
+    "dim": _cmd_dim,
+    "compare": _cmd_compare,
+    "knn-graph": _cmd_knn_graph,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

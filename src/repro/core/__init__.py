@@ -1,0 +1,30 @@
+"""The paper's primary contribution: the Random Ball Cover.
+
+:class:`OneShotRBC` — high-probability approximate search (paper §5.1).
+:class:`ExactRBC` — guaranteed-exact search with triangle-inequality
+pruning (paper §5.2).  Parameter rules from the theory section live in
+:mod:`repro.core.params`.
+"""
+
+from .exact import ExactRBC
+from .hierarchical import HierarchicalOneShotRBC
+from .oneshot import OneShotRBC
+from .params import clip_reps, oneshot_params, standard_n_reps
+from .rbc import RBCBase, sample_representatives
+from .serialize import load_index, save_index
+from .stats import BuildStats, SearchStats
+
+__all__ = [
+    "ExactRBC",
+    "HierarchicalOneShotRBC",
+    "OneShotRBC",
+    "load_index",
+    "save_index",
+    "clip_reps",
+    "oneshot_params",
+    "standard_n_reps",
+    "RBCBase",
+    "sample_representatives",
+    "BuildStats",
+    "SearchStats",
+]

@@ -1,0 +1,438 @@
+"""The exact RBC search algorithm (paper §5.2).
+
+Search runs as two brute-force stages separated by a pruning step that uses
+only the triangle inequality:
+
+1. ``BF(Q, R)`` with distances retained; ``gamma`` = distance to the
+   nearest representative is an upper bound on the distance to the true NN
+   (representatives are database points).
+2. Pruning discards every representative ``r`` that provably cannot own a
+   nearest neighbor, by two rules used simultaneously (the paper notes
+   their combination improves empirical performance):
+
+   * **psi rule** (inequality (1)): discard if
+     ``rho(q, r) >= gamma + psi_r`` — the whole ball around ``r`` lies
+     further than the bound;
+   * **3-gamma rule** (inequality (2) / Lemma 1): discard if
+     ``rho(q, r) > 3 gamma`` — the owner of the NN is within ``3 gamma``.
+
+   Within surviving lists, the sorted order by distance-to-representative
+   enables the Claim-2 trim: a nearest neighbor owned by ``r`` satisfies
+   ``rho(x, r) <= rho(q, r) + gamma``, so only a sorted prefix is scanned.
+3. ``BF(q, X[L_1 ∪ ... ∪ L_t])`` over the surviving candidates.
+
+For k-NN, ``gamma`` is the distance to the k-th nearest representative
+(still an upper bound on the k-th NN distance since ``R ⊂ X``); all three
+rules generalize with that substitution.
+
+An approximation knob ``approx_eps`` implements the paper's footnote 1:
+with ``approx_eps = e > 0`` the pruning threshold shrinks from ``gamma`` to
+``gamma / (1 + e)``, which guarantees the returned point is within a factor
+``(1 + e)`` of the true NN distance while pruning more aggressively.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..parallel.blocking import row_chunks
+from ..parallel.bruteforce import _is_batch, _record_dist_tile
+from ..parallel.pool import SerialExecutor, get_executor
+from ..parallel.reduce import EMPTY_IDX, topk_of_block
+from ..simulator.trace import NULL_RECORDER, Op, TraceRecorder
+from .params import standard_n_reps
+from .rbc import RBCBase, sample_representatives
+from .stats import SearchStats
+
+__all__ = ["ExactRBC"]
+
+
+class ExactRBC(RBCBase):
+    """Random Ball Cover with the exact (guaranteed-correct) search.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core import ExactRBC
+    >>> X = np.random.default_rng(0).normal(size=(2000, 8))
+    >>> index = ExactRBC(seed=0).build(X)
+    >>> dist, idx = index.query(X[:3], k=2)
+    >>> bool((idx[:, 0] == [0, 1, 2]).all())   # a point's 1-NN is itself
+    True
+    """
+
+    def build(
+        self,
+        X,
+        n_reps: int | None = None,
+        *,
+        c: float = 1.0,
+        recorder: TraceRecorder = NULL_RECORDER,
+    ) -> "ExactRBC":
+        """Build: sample ``R``, then one ``BF(X, R)`` assigns every point to
+        its nearest representative (paper §4).
+
+        ``n_reps`` defaults to the standard setting ``c^{3/2} sqrt(n)``.
+        """
+        self._require_true_metric("the exact search's pruning")
+        n = self.metric.length(X)
+        if n == 0:
+            raise ValueError("database is empty")
+        self._validate_input(X)
+        n_reps = standard_n_reps(n, c=c) if n_reps is None else n_reps
+
+        rep_ids = sample_representatives(n, n_reps, self.rng, scheme=self.rep_scheme)
+        rep_data = self.metric.take(X, rep_ids)
+
+        evals0 = self.metric.counter.n_evals
+        # the build routine is exactly BF(X, R) (paper §4)
+        from ..parallel.bruteforce import bf_nn
+
+        dist, owner = bf_nn(
+            X,
+            rep_data,
+            self.metric,
+            executor=self.executor,
+            recorder=recorder,
+        )
+        build_evals = self.metric.counter.n_evals - evals0
+
+        # group points by owner, each list ascending by distance to its rep
+        order = np.lexsort((dist, owner))
+        owner_sorted = owner[order]
+        boundaries = np.searchsorted(owner_sorted, np.arange(rep_ids.size + 1))
+        lists, list_dists = [], []
+        for j in range(rep_ids.size):
+            sl = order[boundaries[j] : boundaries[j + 1]]
+            lists.append(sl.astype(np.int64))
+            list_dists.append(dist[sl])
+        self._finish_build(X, rep_ids, lists, list_dists, build_evals)
+        return self
+
+    # ------------------------------------------------------------- queries
+    def query(
+        self,
+        Q,
+        k: int = 1,
+        *,
+        use_psi_rule: bool = True,
+        use_3gamma_rule: bool = True,
+        use_trim: bool = True,
+        approx_eps: float = 0.0,
+        recorder: TraceRecorder = NULL_RECORDER,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Exact k-NN (or ``(1 + approx_eps)``-approximate if ``> 0``).
+
+        The three rule flags exist for the ablation experiments; with all
+        rules disabled the second stage degenerates to full brute force
+        over every ownership list (still correct, just slow).
+
+        Returns ``(dist, idx)`` of shape ``(m, k)``, rows sorted ascending.
+        """
+        self._require_built()
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if approx_eps < 0:
+            raise ValueError("approx_eps must be >= 0")
+        stats = SearchStats()
+        nr = self.n_reps
+
+        Qb = Q if _is_batch(self.metric, Q) else self.metric._as_batch(Q)
+        m = self.metric.length(Qb)
+        stats.n_queries = m
+
+        # ---- stage 1: BF(Q, R) with all distances retained
+        evals0 = self.metric.counter.n_evals
+        D_R = self._stage1_distances(Qb, recorder)
+        stats.stage1_evals = self.metric.counter.n_evals - evals0
+
+        # gamma = distance to the k-th nearest representative (upper bound
+        # on the k-th NN distance); inf disables pruning when nr < k.
+        if nr >= k:
+            gamma = np.partition(D_R, k - 1, axis=1)[:, k - 1]
+        else:
+            gamma = np.full(m, np.inf)
+        gamma_eff = gamma / (1.0 + approx_eps)
+
+        # ---- pruning + stage 2, parallel over query chunks
+        psi = self.radii
+        exec_ = get_executor(self.executor)
+        owns_exec = self.executor is None or isinstance(self.executor, str)
+
+        def task(chunk):
+            lo, hi = chunk
+            return self._stage2_chunk(
+                Qb,
+                D_R,
+                gamma,
+                gamma_eff,
+                psi,
+                lo,
+                hi,
+                k,
+                use_psi_rule,
+                use_3gamma_rule,
+                use_trim,
+                recorder,
+            )
+
+        chunks = row_chunks(m, 256)
+        evals1 = self.metric.counter.n_evals
+        try:
+            if len(chunks) == 1 or isinstance(exec_, SerialExecutor):
+                parts = [task(ch) for ch in chunks]
+            else:
+                parts = exec_.map(task, chunks)
+        finally:
+            if owns_exec:
+                exec_.close()
+        stats.stage2_evals = self.metric.counter.n_evals - evals1
+
+        dist = np.concatenate([p[0] for p in parts], axis=0)
+        idx = np.concatenate([p[1] for p in parts], axis=0)
+        for p in parts:
+            sub = p[2]
+            stats.pruned_by_psi += sub.pruned_by_psi
+            stats.pruned_by_3gamma += sub.pruned_by_3gamma
+            stats.trimmed_by_4gamma += sub.trimmed_by_4gamma
+            stats.candidates_examined += sub.candidates_examined
+        self.last_stats = stats
+        return dist, idx
+
+    def _stage1_distances(self, Qb, recorder: TraceRecorder) -> np.ndarray:
+        """Full (m, n_reps) distance matrix, computed in row chunks."""
+        m = self.metric.length(Qb)
+        dim = self.metric.dim(self.rep_data)
+        out = np.empty((m, self.n_reps))
+        with recorder.phase("exact:stage1"):
+            for lo, hi in row_chunks(m, 1024):
+                Qc = self.metric.take(Qb, np.arange(lo, hi))
+                out[lo:hi] = self.metric.pairwise(Qc, self.rep_data)
+                _record_dist_tile(
+                    recorder, self.metric, hi - lo, self.n_reps, dim,
+                    "exact:stage1",
+                )
+        return out
+
+    def _stage2_chunk(
+        self,
+        Qb,
+        D_R,
+        gamma,
+        gamma_eff,
+        psi,
+        lo,
+        hi,
+        k,
+        use_psi_rule,
+        use_3gamma_rule,
+        use_trim,
+        recorder,
+    ):
+        """Prune representatives and brute-force the survivors' lists for
+        queries ``lo..hi``."""
+        sub = SearchStats()
+        dim = self.metric.dim(self.rep_data)
+        dists = np.full((hi - lo, k), np.inf)
+        idxs = np.full((hi - lo, k), EMPTY_IDX, dtype=np.int64)
+        # DRAM traffic model: a candidate vector is streamed from memory the
+        # first time any query in this chunk touches it and served from
+        # cache afterwards, so the chunk charges each unique candidate once
+        # (recorded as one memcpy op below); per-query ops carry only their
+        # compute and output bytes.
+        touched = np.zeros(self.n, dtype=bool) if recorder.enabled else None
+        with recorder.phase("exact:stage2"):
+            for i in range(lo, hi):
+                d_row = D_R[i]
+                keep = np.ones(self.n_reps, dtype=bool)
+                if use_psi_rule:
+                    # inequality (1): rho(q,r) >= gamma + psi_r  =>  discard
+                    kept = d_row - psi < gamma_eff[i]
+                    sub.pruned_by_psi += int(self.n_reps - kept.sum())
+                    keep &= kept
+                if use_3gamma_rule:
+                    # inequality (2) via Lemma 1
+                    kept = d_row <= 3.0 * gamma[i]
+                    sub.pruned_by_3gamma += int(np.count_nonzero(keep & ~kept))
+                    keep &= kept
+                recorder.record(
+                    Op(
+                        kind="ewise",
+                        flops=4.0 * self.n_reps,
+                        bytes=8.0 * self.n_reps,
+                        tag="exact:prune",
+                    )
+                )
+
+                cand_parts = []
+                for j in np.flatnonzero(keep):
+                    lst = self.lists[j]
+                    if lst.size == 0:
+                        continue
+                    if use_trim:
+                        # Claim 2: an answer owned by r satisfies
+                        # rho(x, r) <= rho(q, r) + gamma
+                        cut = np.searchsorted(
+                            self.list_dists[j],
+                            d_row[j] + gamma_eff[i],
+                            side="right",
+                        )
+                        sub.trimmed_by_4gamma += int(lst.size - cut)
+                        cand_parts.append(lst[:cut])
+                    else:
+                        cand_parts.append(lst)
+                # Seed with the k nearest representatives: they are database
+                # points whose distances are already known to be <= gamma,
+                # which keeps the answer exact even when a boundary tie in
+                # rule (1) discards a representative's own singleton list.
+                kk = min(k, self.n_reps)
+                seed = self.rep_ids[np.argpartition(d_row, kk - 1)[:kk]]
+                cand = np.unique(np.concatenate(cand_parts + [seed]))
+                sub.candidates_examined += int(cand.size)
+
+                q_i = self.metric.take(Qb, [i])
+                D2 = self.metric.pairwise(q_i, self.metric.take(self.X, cand))
+                if touched is not None:
+                    touched[cand] = True
+                recorder.record(
+                    Op(
+                        kind="gemm",
+                        flops=cand.size * self.metric.flops_per_eval(dim),
+                        bytes=8.0 * cand.size,  # output row + id reads
+                        tag="exact:stage2",
+                    )
+                )
+                d, li = topk_of_block(D2, k)
+                mask = li[0] >= 0
+                idxs[i - lo, mask] = cand[li[0][mask]]
+                dists[i - lo] = d[0]
+            if touched is not None and touched.any():
+                recorder.record(
+                    Op(
+                        kind="memcpy",
+                        flops=0.0,
+                        bytes=8.0 * dim * float(touched.sum()),
+                        tag="exact:stage2-stream",
+                    )
+                )
+        return dists, idxs, sub
+
+    # ------------------------------------------------------ dynamic updates
+    def insert(self, x) -> int:
+        """Insert a point: assign it to its nearest representative.
+
+        Exactly the per-point step of the build's ``BF(X, R)``; queries
+        remain exact afterwards.  Returns the new point's global id.
+        O(n_reps) distance evaluations plus an O(n) database append —
+        rebuild instead when inserting a large batch.
+        """
+        self._require_built()
+        self._require_vector_db("insert")
+        gid = self._append_point(x)
+        d = self.metric.pairwise(
+            self.metric.take(self.X, [gid]), self.rep_data
+        )[0]
+        j = int(np.argmin(d))
+        pos = int(np.searchsorted(self.list_dists[j], d[j]))
+        self.lists[j] = np.insert(self.lists[j], pos, gid)
+        self.list_dists[j] = np.insert(self.list_dists[j], pos, d[j])
+        self.radii[j] = max(self.radii[j], float(d[j]))
+        return gid
+
+    def delete(self, gid: int) -> None:
+        """Delete a point by global id.
+
+        Non-representative points are removed from their owner's list.
+        Deleting a representative redistributes its surviving list members
+        to their nearest remaining representative (the same assignment
+        rule as the build).  Radii are kept as-is: they remain valid
+        *upper* bounds, so exactness is preserved; pruning tightness can
+        be restored by rebuilding after heavy churn.
+        """
+        self._require_built()
+        self._require_vector_db("delete")
+        gid = int(gid)
+        self._tombstone(gid)
+
+        rep_pos = np.flatnonzero(self.rep_ids == gid)
+        if rep_pos.size == 0:
+            for j in range(len(self.lists)):
+                hit = np.flatnonzero(self.lists[j] == gid)
+                if hit.size:
+                    self.lists[j] = np.delete(self.lists[j], hit[0])
+                    self.list_dists[j] = np.delete(self.list_dists[j], hit[0])
+                    return
+            raise AssertionError(f"point {gid} missing from every list")
+
+        j = int(rep_pos[0])
+        if self.rep_ids.size == 1:
+            raise ValueError(
+                "cannot delete the only representative; rebuild the index"
+            )
+        orphans = self.lists[j][self.lists[j] != gid]
+        # drop representative j
+        self.rep_ids = np.delete(self.rep_ids, j)
+        self.rep_data = self.metric.take(self.X, self.rep_ids)
+        del self.lists[j]
+        del self.list_dists[j]
+        self.radii = np.delete(self.radii, j)
+        if orphans.size:
+            # reassign orphans to their nearest surviving representative
+            D = self.metric.pairwise(
+                self.metric.take(self.X, orphans), self.rep_data
+            )
+            owner = D.argmin(axis=1)
+            dist = D[np.arange(orphans.size), owner]
+            for t in np.unique(owner):
+                sel = owner == t
+                merged_ids = np.concatenate([self.lists[t], orphans[sel]])
+                merged_d = np.concatenate([self.list_dists[t], dist[sel]])
+                order = np.argsort(merged_d, kind="stable")
+                self.lists[t] = merged_ids[order]
+                self.list_dists[t] = merged_d[order]
+                self.radii[t] = max(self.radii[t], float(merged_d.max()))
+
+    def range_query(
+        self,
+        Q,
+        eps: float,
+        *,
+        recorder: TraceRecorder = NULL_RECORDER,
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Exact ε-range search: every point within ``eps`` of each query.
+
+        A representative's list can contain hits only if
+        ``rho(q, r) <= eps + psi_r``; inside a surviving list, hits satisfy
+        ``|rho(x, r) - rho(q, r)| <= eps``, so the sorted order admits a
+        two-sided window.  Survivor candidates are then verified exactly.
+        """
+        self._require_built()
+        if eps < 0:
+            raise ValueError("eps must be non-negative")
+        Qb = Q if _is_batch(self.metric, Q) else self.metric._as_batch(Q)
+        m = self.metric.length(Qb)
+        D_R = self._stage1_distances(Qb, recorder)
+
+        out = []
+        with recorder.phase("exact:range"):
+            for i in range(m):
+                d_row = D_R[i]
+                keep = d_row <= eps + self.radii
+                cand_parts = []
+                for j in np.flatnonzero(keep):
+                    ld = self.list_dists[j]
+                    lsl = np.searchsorted(ld, d_row[j] - eps, side="left")
+                    lsr = np.searchsorted(ld, d_row[j] + eps, side="right")
+                    if lsr > lsl:
+                        cand_parts.append(self.lists[j][lsl:lsr])
+                if not cand_parts:
+                    out.append((np.empty(0), np.empty(0, dtype=np.int64)))
+                    continue
+                cand = np.concatenate(cand_parts)
+                q_i = self.metric.take(Qb, [i])
+                D2 = self.metric.pairwise(q_i, self.metric.take(self.X, cand))[0]
+                hit = D2 <= eps
+                d, gi = D2[hit], cand[hit]
+                order = np.argsort(d, kind="stable")
+                out.append((d[order], gi[order]))
+        return out

@@ -1,0 +1,215 @@
+"""The one-shot RBC search algorithm (paper §5.1).
+
+Search is two brute-force calls: ``BF(q, R)`` finds each query's nearest
+representative ``r``; ``BF(q, X[L_r])`` scans that representative's
+ownership list and returns the nearest point found.  With the Theorem-2
+parameter setting the result is the true nearest neighbor with probability
+at least ``1 - delta``; otherwise the parameter ``s = |L_r|`` trades
+accuracy (measured as the *rank* of the returned point — see
+:mod:`repro.eval.rank`) against time, the trade-off plotted in the paper's
+Figure 1.
+
+Batch queries are grouped by their chosen representative, so the second
+stage is one dense ``(group, s)`` distance block per representative — the
+same matmul-like structure as the first stage, which is what makes the
+algorithm effective on throughput hardware (Table 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..parallel.bruteforce import _is_batch, _record_dist_tile, bf_knn
+from ..parallel.reduce import EMPTY_IDX, dedupe_rows, merge_topk, topk_of_block
+from ..simulator.trace import NULL_RECORDER, Op, TraceRecorder
+from .params import oneshot_params
+from .rbc import RBCBase, sample_representatives
+from .stats import SearchStats
+
+__all__ = ["OneShotRBC"]
+
+
+class OneShotRBC(RBCBase):
+    """Random Ball Cover with the one-shot (high-probability) search.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core import OneShotRBC
+    >>> X = np.random.default_rng(0).normal(size=(2000, 8))
+    >>> index = OneShotRBC(seed=0).build(X)
+    >>> dist, idx = index.query(X[:5])
+    >>> idx.shape
+    (5, 1)
+    """
+
+    def build(
+        self,
+        X,
+        n_reps: int | None = None,
+        s: int | None = None,
+        *,
+        delta: float = 0.05,
+        c: float = 1.0,
+        recorder: TraceRecorder = NULL_RECORDER,
+    ) -> "OneShotRBC":
+        """Build the cover: sample ``R``, then one ``BF(R, X)`` call.
+
+        If ``n_reps``/``s`` are omitted they default to the Theorem-2
+        setting ``n_r = s = c sqrt(n ln 1/delta)`` for the given expansion
+        rate ``c`` and failure probability ``delta``.
+        """
+        n = self.metric.length(X)
+        if n == 0:
+            raise ValueError("database is empty")
+        self._validate_input(X)
+        auto_nr, auto_s = oneshot_params(n, c=c, delta=delta)
+        n_reps = auto_nr if n_reps is None else n_reps
+        s = auto_s if s is None else s
+        if not 1 <= s <= n:
+            raise ValueError(f"need 1 <= s <= n, got s={s}")
+
+        rep_ids = sample_representatives(n, n_reps, self.rng, scheme=self.rep_scheme)
+        rep_data = self.metric.take(X, rep_ids)
+
+        evals0 = self.metric.counter.n_evals
+        # the build routine is exactly BF(R, X) with k = s (paper §4)
+        dists, ids = bf_knn(
+            rep_data,
+            X,
+            self.metric,
+            k=s,
+            executor=self.executor,
+            recorder=recorder,
+        )
+        build_evals = self.metric.counter.n_evals - evals0
+
+        lists = [row[row >= 0] for row in ids]
+        list_dists = [d[np.isfinite(d)] for d in dists]
+        self.s = s
+        self._finish_build(X, rep_ids, lists, list_dists, build_evals)
+        return self
+
+    def query(
+        self,
+        Q,
+        k: int = 1,
+        *,
+        n_probes: int = 1,
+        recorder: TraceRecorder = NULL_RECORDER,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One-shot k-NN: ``BF(Q, R)`` then ``BF(q, X[L_r])`` per query.
+
+        ``n_probes > 1`` is an extension beyond the paper: each query scans
+        the lists of its ``n_probes`` nearest representatives and merges,
+        improving recall at proportional cost (the natural multi-probe
+        analogue the paper's distributed future-work section suggests).
+
+        Returns ``(dist, idx)`` of shape ``(m, k)``; rows sorted ascending.
+        Slots beyond the number of reachable candidates hold ``inf``/``-1``.
+        """
+        self._require_built()
+        if k < 1 or n_probes < 1:
+            raise ValueError("k and n_probes must be >= 1")
+        n_probes = min(n_probes, self.n_reps)
+        stats = SearchStats()
+
+        evals0 = self.metric.counter.n_evals
+        # stage 1: nearest representative(s) by brute force
+        _, rep_local = bf_knn(
+            Q,
+            self.rep_data,
+            self.metric,
+            k=n_probes,
+            executor=self.executor,
+            recorder=recorder,
+        )
+        stats.stage1_evals = self.metric.counter.n_evals - evals0
+        m = rep_local.shape[0]
+        stats.n_queries = m
+
+        Qb = Q if _is_batch(self.metric, Q) else self.metric._as_batch(Q)
+
+        # stage 2: scan each chosen representative's list, grouped by rep.
+        # Lists overlap under multi-probe, so a candidate can arrive through
+        # several lists; carry k * n_probes merge slots so duplicates cannot
+        # push a genuine neighbor past the merge window, then dedupe to k.
+        kk = k * n_probes
+        best_d = np.full((m, kk), np.inf)
+        best_i = np.full((m, kk), EMPTY_IDX, dtype=np.int64)
+        evals1 = self.metric.counter.n_evals
+        with recorder.phase("oneshot:stage2"):
+            for probe in range(n_probes):
+                choice = rep_local[:, probe]
+                for rep in np.unique(choice):
+                    rows = np.flatnonzero(choice == rep)
+                    cand = self.lists[rep]
+                    if cand.size == 0:
+                        continue
+                    Qg = self.metric.take(Qb, rows)
+                    D = self.metric.pairwise(Qg, self.metric.take(self.X, cand))
+                    _record_dist_tile(
+                        recorder,
+                        self.metric,
+                        rows.size,
+                        cand.size,
+                        self.metric.dim(self.rep_data),
+                        "oneshot:stage2",
+                    )
+                    d, li = topk_of_block(D, kk)
+                    gi = np.where(li >= 0, cand[np.clip(li, 0, None)], EMPTY_IDX)
+                    best_d[rows], best_i[rows] = merge_topk(
+                        (best_d[rows], best_i[rows]), (d, gi)
+                    )
+                    stats.candidates_examined += int(D.size)
+        stats.stage2_evals = self.metric.counter.n_evals - evals1
+
+        if n_probes > 1:
+            best_d, best_i = dedupe_rows(best_d, best_i, k)
+        else:
+            best_d, best_i = best_d[:, :k], best_i[:, :k]
+        self.last_stats = stats
+        return best_d, best_i
+
+    # ------------------------------------------------------ dynamic updates
+    def insert(self, x) -> int:
+        """Insert a point into every list whose ball it falls inside.
+
+        The point joins the (sorted) list of each representative ``r``
+        with ``rho(x, r) <= psi_r``, and unconditionally joins its nearest
+        representative's list (growing that radius if needed) so it is
+        always reachable.  Lists may grow beyond ``s``; rebuild after
+        heavy churn to restore the Theorem-2 configuration.  Returns the
+        new point's global id.
+        """
+        self._require_built()
+        self._require_vector_db("insert")
+        gid = self._append_point(x)
+        d = self.metric.pairwise(
+            self.metric.take(self.X, [gid]), self.rep_data
+        )[0]
+        targets = set(np.flatnonzero(d <= self.radii).tolist())
+        targets.add(int(np.argmin(d)))
+        for j in targets:
+            pos = int(np.searchsorted(self.list_dists[j], d[j]))
+            self.lists[j] = np.insert(self.lists[j], pos, gid)
+            self.list_dists[j] = np.insert(self.list_dists[j], pos, d[j])
+            self.radii[j] = max(self.radii[j], float(d[j]))
+        return gid
+
+    def delete(self, gid: int) -> None:
+        """Delete a point: remove it from every (overlapping) list.
+
+        Deleting a representative keeps its list serving queries (the
+        list's members are still valid neighbors); only the point itself
+        stops being returned.  Rebuild to re-draw representatives.
+        """
+        self._require_built()
+        self._require_vector_db("delete")
+        gid = int(gid)
+        self._tombstone(gid)
+        for j in range(len(self.lists)):
+            hit = np.flatnonzero(self.lists[j] == gid)
+            if hit.size:
+                self.lists[j] = np.delete(self.lists[j], hit[0])
+                self.list_dists[j] = np.delete(self.list_dists[j], hit[0])

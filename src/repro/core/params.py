@@ -1,0 +1,54 @@
+"""Parameter settings from the paper's theory section (§6).
+
+Two settings are named in the paper:
+
+* the **standard parameter setting** for exact search,
+  ``n_r = c^{3/2} sqrt(n)``, which balances the two brute-force stages so
+  each performs ``O(c^{3/2} sqrt(n))`` distance evaluations (Theorem 1);
+* the **one-shot setting** of Theorem 2,
+  ``n_r = s = c * sqrt(n * ln(1/delta))``, which guarantees the one-shot
+  algorithm returns the true NN with probability at least ``1 - delta``.
+
+``c`` is the expansion rate of the data (estimable with
+:mod:`repro.dimension`); when unknown, ``c = 1`` reduces both to the
+generic ``sqrt(n)`` rule, which Appendix C shows is robust in practice.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["standard_n_reps", "oneshot_params", "clip_reps"]
+
+
+def clip_reps(n_reps: float, n: int) -> int:
+    """Round and clip a representative count into ``[1, n]``."""
+    if n < 1:
+        raise ValueError("database must be non-empty")
+    return max(1, min(int(round(n_reps)), n))
+
+
+def standard_n_reps(n: int, c: float = 1.0) -> int:
+    """The exact-search standard setting ``n_r = c^{3/2} sqrt(n)``.
+
+    With this choice the expected second-stage work ``c^3 n / n_r`` equals
+    the first-stage work ``n_r`` (Theorem 1), so total expected work is
+    ``O(c^{3/2} sqrt(n))``.
+    """
+    if c < 1.0:
+        raise ValueError("expansion rate c is always >= 1")
+    return clip_reps(c**1.5 * math.sqrt(n), n)
+
+
+def oneshot_params(n: int, c: float = 1.0, delta: float = 0.05) -> tuple[int, int]:
+    """Theorem 2 setting: ``n_r = s = c sqrt(n ln(1/delta))``.
+
+    Returns ``(n_reps, s)``; the one-shot algorithm with these parameters
+    returns the exact NN with probability at least ``1 - delta``.
+    """
+    if not 0.0 < delta < 1.0:
+        raise ValueError("delta must lie in (0, 1)")
+    if c < 1.0:
+        raise ValueError("expansion rate c is always >= 1")
+    v = clip_reps(c * math.sqrt(n * math.log(1.0 / delta)), n)
+    return v, v

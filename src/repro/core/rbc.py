@@ -1,0 +1,236 @@
+"""The Random Ball Cover data structure (paper §4).
+
+The RBC is a single-level cover of a metric space: a random subset ``R`` of
+the database acts as representatives, each representative ``r`` owns a list
+``L_r`` of database points, and stores the radius ``psi_r`` of that list
+(the distance to the furthest owned point).  The two search algorithms use
+slightly different ownership rules:
+
+* **exact** build (:class:`~repro.core.exact.ExactRBC`): each database
+  point joins the list of its *nearest representative* — one ``BF(X, R)``;
+* **one-shot** build (:class:`~repro.core.oneshot.OneShotRBC`): each
+  representative owns its ``s`` *nearest database points* — one
+  ``BF(R, X)`` — so lists typically overlap.
+
+Both builds are single calls of the brute-force primitive, which is the
+whole point: construction parallelizes exactly like the searches do.
+
+This module holds the shared machinery: representative sampling, list
+storage (sorted by distance-to-representative, enabling the Claim-2 trim),
+and radii.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..metrics import get_metric
+from ..metrics.base import Metric
+from ..parallel.pool import Executor
+from ..simulator.trace import NULL_RECORDER, TraceRecorder
+from .stats import BuildStats, SearchStats
+
+__all__ = ["RBCBase", "sample_representatives"]
+
+
+def sample_representatives(
+    n: int,
+    n_reps: int,
+    rng: np.random.Generator,
+    *,
+    scheme: str = "bernoulli",
+) -> np.ndarray:
+    """Choose representative ids from ``range(n)``.
+
+    ``scheme="bernoulli"`` follows the paper exactly: each point is chosen
+    independently with probability ``n_reps / n`` (so the count is random
+    with mean ``n_reps``; the theory's geometric-distribution argument in
+    Claim 1 relies on this independence).  ``scheme="exact"`` draws exactly
+    ``n_reps`` without replacement — handy when reproducible sizes matter
+    more than the letter of the analysis.
+    """
+    if not 1 <= n_reps <= n:
+        raise ValueError(f"need 1 <= n_reps <= n, got n_reps={n_reps}, n={n}")
+    if scheme == "bernoulli":
+        mask = rng.random(n) < (n_reps / n)
+        ids = np.flatnonzero(mask)
+        if ids.size == 0:  # resample guard: an empty R is never usable
+            ids = rng.choice(n, size=1, replace=False)
+        return ids.astype(np.int64)
+    if scheme == "exact":
+        return np.sort(rng.choice(n, size=n_reps, replace=False)).astype(np.int64)
+    raise ValueError(f"unknown sampling scheme {scheme!r}")
+
+
+class RBCBase:
+    """State and helpers shared by the two RBC search structures.
+
+    Parameters
+    ----------
+    metric:
+        metric name or :class:`~repro.metrics.base.Metric` instance.
+    seed:
+        seed (or Generator) for representative sampling; builds are
+        deterministic given the seed.
+    executor:
+        executor spec forwarded to the brute-force calls.
+    rep_scheme:
+        ``"bernoulli"`` (paper) or ``"exact"`` representative sampling.
+    """
+
+    def __init__(
+        self,
+        metric: str | Metric = "euclidean",
+        *,
+        seed: int | np.random.Generator | None = 0,
+        executor: str | Executor | None = None,
+        rep_scheme: str = "bernoulli",
+    ) -> None:
+        self.metric = get_metric(metric)
+        self.rng = (
+            seed
+            if isinstance(seed, np.random.Generator)
+            else np.random.default_rng(seed)
+        )
+        self.executor = executor
+        self.rep_scheme = rep_scheme
+
+        # populated by build()
+        self.X = None
+        self.n: int = 0
+        #: liveness per database row; deletions tombstone rows so global
+        #: ids stay stable (None until the first update touches it)
+        self._active: np.ndarray | None = None
+        self.rep_ids: np.ndarray | None = None
+        self.rep_data = None
+        #: per-representative arrays of owned global ids, ascending by
+        #: distance to the representative
+        self.lists: list[np.ndarray] = []
+        #: distances aligned with ``lists``
+        self.list_dists: list[np.ndarray] = []
+        #: psi_r = max_{x in L_r} rho(x, r)
+        self.radii: np.ndarray | None = None
+        self.build_stats: BuildStats | None = None
+        self.last_stats: SearchStats | None = None
+
+    # ------------------------------------------------------------- helpers
+    @property
+    def is_built(self) -> bool:
+        return self.rep_ids is not None
+
+    @property
+    def n_reps(self) -> int:
+        self._require_built()
+        return int(self.rep_ids.size)
+
+    def _require_built(self) -> None:
+        if not self.is_built:
+            raise RuntimeError("call build(X) before querying")
+
+    def _require_true_metric(self, why: str) -> None:
+        if not getattr(self.metric, "is_true_metric", True):
+            raise ValueError(
+                f"{type(self.metric).__name__} does not satisfy the triangle "
+                f"inequality, which {why} requires"
+            )
+
+    def _validate_input(self, X) -> None:
+        """Run the metric's dataset validation (e.g. finiteness) if any."""
+        validate = getattr(self.metric, "validate", None)
+        if validate is not None and isinstance(X, np.ndarray):
+            validate(X)
+
+    def _finish_build(
+        self,
+        X,
+        rep_ids: np.ndarray,
+        lists: list[np.ndarray],
+        list_dists: list[np.ndarray],
+        build_evals: int,
+    ) -> None:
+        self.X = X
+        self.n = self.metric.length(X)
+        self.rep_ids = rep_ids
+        self.rep_data = self.metric.take(X, rep_ids)
+        self.lists = lists
+        self.list_dists = list_dists
+        self.radii = np.array(
+            [d[-1] if d.size else 0.0 for d in list_dists], dtype=np.float64
+        )
+        self.build_stats = BuildStats(
+            n_points=self.n,
+            n_reps=int(rep_ids.size),
+            build_evals=build_evals,
+            list_sizes=[int(l.size) for l in lists],
+        )
+
+    # ------------------------------------------------------ dynamic updates
+    @property
+    def active_ids(self) -> np.ndarray:
+        """Global ids of live (non-deleted) database points."""
+        self._require_built()
+        if self._active is None:
+            return np.arange(self.n, dtype=np.int64)
+        return np.flatnonzero(self._active).astype(np.int64)
+
+    @property
+    def n_active(self) -> int:
+        self._require_built()
+        if self._active is None:
+            return self.n
+        return int(self._active.sum())
+
+    def _require_vector_db(self, what: str) -> None:
+        if not isinstance(self.X, np.ndarray):
+            raise ValueError(f"{what} requires an ndarray database")
+
+    def _append_point(self, x) -> int:
+        """Append a row to the database; returns its global id.
+
+        O(n) per call (the array is copied); batch churn should prefer a
+        rebuild.  Provided so incremental workloads stay convenient.
+        """
+        x = np.asarray(x, dtype=np.float64).reshape(1, -1)
+        if x.shape[1] != self.X.shape[1]:
+            raise ValueError(
+                f"dimension mismatch: point has d={x.shape[1]}, "
+                f"database has d={self.X.shape[1]}"
+            )
+        self.X = np.vstack([self.X, x])
+        if self._active is None:
+            self._active = np.ones(self.n, dtype=bool)
+        self._active = np.append(self._active, True)
+        self.n += 1
+        return self.n - 1
+
+    def _tombstone(self, gid: int) -> None:
+        if self._active is None:
+            self._active = np.ones(self.n, dtype=bool)
+        if not 0 <= gid < self.n or not self._active[gid]:
+            raise ValueError(f"point {gid} does not exist or is deleted")
+        self._active[gid] = False
+
+    def memory_footprint(self) -> int:
+        """Approximate bytes held by the cover (ids + distances + radii)."""
+        self._require_built()
+        total = self.rep_ids.nbytes + self.radii.nbytes
+        total += sum(l.nbytes for l in self.lists)
+        total += sum(d.nbytes for d in self.list_dists)
+        return total
+
+    # ------------------------------------------------------------ interface
+    def build(
+        self, X, n_reps: int | None = None, *, recorder: TraceRecorder = NULL_RECORDER
+    ) -> "RBCBase":
+        raise NotImplementedError
+
+    def query(
+        self, Q, k: int = 1, *, recorder: TraceRecorder = NULL_RECORDER
+    ) -> tuple[np.ndarray, np.ndarray]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = (
+            f"n={self.n}, n_reps={self.rep_ids.size}" if self.is_built else "unbuilt"
+        )
+        return f"{type(self).__name__}({self.metric.name}, {state})"

@@ -1,0 +1,60 @@
+"""Per-query-batch search statistics.
+
+The paper's work bounds are about distance evaluations, so every search
+records how many were spent in each stage and what the pruning rules did.
+These are the observables the theory benchmarks compare against the
+predictions of Claims 1-2 and Theorems 1-2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SearchStats", "BuildStats"]
+
+
+@dataclass
+class SearchStats:
+    """Work accounting for one batch query."""
+
+    n_queries: int = 0
+    #: distance evaluations in the query-to-representatives stage
+    stage1_evals: int = 0
+    #: distance evaluations against ownership-list candidates
+    stage2_evals: int = 0
+    #: representatives discarded by the psi-radius rule, summed over queries
+    pruned_by_psi: int = 0
+    #: representatives discarded by the 3-gamma rule (Lemma 1)
+    pruned_by_3gamma: int = 0
+    #: candidate points skipped by the sorted-list 4-gamma trim (Claim 2)
+    trimmed_by_4gamma: int = 0
+    #: candidate points actually examined in stage 2
+    candidates_examined: int = 0
+
+    @property
+    def total_evals(self) -> int:
+        return self.stage1_evals + self.stage2_evals
+
+    def per_query_evals(self) -> float:
+        """Mean distance evaluations per query — the paper's work measure."""
+        return self.total_evals / self.n_queries if self.n_queries else 0.0
+
+
+@dataclass
+class BuildStats:
+    """Work accounting for a build."""
+
+    n_points: int = 0
+    n_reps: int = 0
+    build_evals: int = 0
+    list_sizes: list[int] = field(default_factory=list)
+
+    @property
+    def max_list(self) -> int:
+        return max(self.list_sizes) if self.list_sizes else 0
+
+    @property
+    def mean_list(self) -> float:
+        return (
+            sum(self.list_sizes) / len(self.list_sizes) if self.list_sizes else 0.0
+        )

@@ -1,0 +1,36 @@
+"""Synthetic data: generators, JL projection, and the paper-analog registry."""
+
+from .datasets import DATASETS, DatasetSpec, dataset_names, load, table1_rows
+from .preprocess import Standardizer, split_database_queries, unit_normalize
+from .projection import jl_dimension, random_projection
+from .synthetic import (
+    gaussian_mixture,
+    grid_l1,
+    image_patches,
+    manifold,
+    random_geometric_graph,
+    random_strings,
+    robot_arm,
+    uniform_hypercube,
+)
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "dataset_names",
+    "load",
+    "table1_rows",
+    "Standardizer",
+    "split_database_queries",
+    "unit_normalize",
+    "jl_dimension",
+    "random_projection",
+    "gaussian_mixture",
+    "grid_l1",
+    "image_patches",
+    "manifold",
+    "random_geometric_graph",
+    "random_strings",
+    "robot_arm",
+    "uniform_hypercube",
+]

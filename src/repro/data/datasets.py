@@ -1,0 +1,136 @@
+"""Paper-analog dataset registry (Table 1).
+
+Each entry mirrors one row of the paper's Table 1 in (relative) size,
+ambient dimension, and intrinsic character; see DESIGN.md §1 and §4 for the
+substitution rationale and the scaling rule.  ``load`` returns a database
+and a disjoint query set, both deterministic for a given name/scale/seed.
+
+=========  =========  ====  ===========================  ================
+name       paper n    dim   paper source                 generator
+=========  =========  ====  ===========================  ================
+bio        200k       74    UCI Bio (KDD)                manifold(6) in 74-d
+cov        500k       54    UCI Covertype                manifold(4) in 54-d (low intrinsic dim, per the paper)
+phy        100k       78    UCI Physics (KDD)            manifold(8) in 78-d
+robot      2M         21    Barrett WAM arm trace        kinematic trace, 21 features
+tiny4..32  10M        4-32  Tiny Images + rand. proj.    image patches -> JL projection
+=========  =========  ====  ===========================  ================
+
+Default ``scale`` keeps the laptop benchmarks minutes-long while preserving
+every size *ratio*; pass ``scale=1.0`` for paper-sized data.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from .projection import random_projection
+from .synthetic import image_patches, manifold, robot_arm
+
+__all__ = ["DatasetSpec", "DATASETS", "load", "dataset_names", "table1_rows"]
+
+#: fraction of the paper's n generated at the default scale
+DEFAULT_SCALE = 0.05
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One paper-analog dataset: identity, paper-scale size, generator."""
+
+    name: str
+    paper_n: int
+    dim: int
+    intrinsic_dim: int
+    make: Callable[[int, int], np.ndarray]  # (n, seed) -> (n, dim) array
+    description: str = ""
+
+    def n_at(self, scale: float) -> int:
+        return max(64, int(self.paper_n * scale))
+
+
+def _make_bio(n: int, seed: int) -> np.ndarray:
+    return manifold(n, 74, 6, noise=0.01, seed=seed)
+
+
+def _make_cov(n: int, seed: int) -> np.ndarray:
+    # Covertype "has low intrinsic dimensionality" (paper §7.4, citing [2])
+    return manifold(n, 54, 4, noise=0.01, seed=seed)
+
+
+def _make_phy(n: int, seed: int) -> np.ndarray:
+    return manifold(n, 78, 8, noise=0.01, seed=seed)
+
+
+def _make_robot(n: int, seed: int) -> np.ndarray:
+    return robot_arm(n, n_joints=7, seed=seed)
+
+
+def _make_tiny(dim: int) -> Callable[[int, int], np.ndarray]:
+    def make(n: int, seed: int) -> np.ndarray:
+        raw = image_patches(n, patch=16, seed=seed)
+        proj, _ = random_projection(raw, dim, seed=seed + 1)
+        return proj
+
+    return make
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in [
+        DatasetSpec("bio", 200_000, 74, 6, _make_bio, "UCI Bio analogue"),
+        DatasetSpec("cov", 500_000, 54, 4, _make_cov, "UCI Covertype analogue"),
+        DatasetSpec("phy", 100_000, 78, 8, _make_phy, "UCI Physics analogue"),
+        DatasetSpec("robot", 2_000_000, 21, 7, _make_robot, "Barrett WAM analogue"),
+        DatasetSpec("tiny4", 10_000_000, 4, 4, _make_tiny(4), "TinyIm, 4-d proj"),
+        DatasetSpec("tiny8", 10_000_000, 8, 6, _make_tiny(8), "TinyIm, 8-d proj"),
+        DatasetSpec("tiny16", 10_000_000, 16, 8, _make_tiny(16), "TinyIm, 16-d proj"),
+        DatasetSpec("tiny32", 10_000_000, 32, 8, _make_tiny(32), "TinyIm, 32-d proj"),
+    ]
+}
+
+
+def dataset_names() -> list[str]:
+    """Registry order matches the paper's Table 1 / figure panels."""
+    return list(DATASETS)
+
+
+def load(
+    name: str,
+    *,
+    scale: float = DEFAULT_SCALE,
+    n_queries: int = 1000,
+    seed: int = 0,
+    max_n: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Generate ``(X, Q)``: a database and a disjoint query set.
+
+    Queries come from the same distribution (the paper queries held-out
+    points of the same datasets).  ``max_n`` optionally caps the database
+    size after scaling — used by benches whose baselines are slow.
+    """
+    try:
+        spec = DATASETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown dataset {name!r}; available: {', '.join(DATASETS)}"
+        ) from None
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    n = spec.n_at(scale)
+    if max_n is not None:
+        n = min(n, max_n)
+    full = spec.make(n + n_queries, seed)
+    rng = np.random.default_rng(seed + 999)
+    perm = rng.permutation(full.shape[0])
+    return full[perm[:n]], full[perm[n : n + n_queries]]
+
+
+def table1_rows(scale: float = DEFAULT_SCALE) -> list[tuple[str, int, int, int, int]]:
+    """Rows of the reproduced Table 1:
+    (name, paper_n, generated_n, dim, intrinsic_dim)."""
+    return [
+        (s.name, s.paper_n, s.n_at(scale), s.dim, s.intrinsic_dim)
+        for s in DATASETS.values()
+    ]

@@ -1,0 +1,85 @@
+"""Preprocessing utilities for vector datasets.
+
+The UCI-style datasets of the paper's Table 1 have heterogeneous feature
+scales; the usual pipeline before metric search is standardization (or
+whitening via :class:`~repro.metrics.mahalanobis.Mahalanobis`), and for
+angular search, unit-normalization.  These helpers are fit/transform
+pairs so the *same* transformation learned on the database is applied to
+queries — applying a freshly-fit transform to queries silently changes
+the metric and is the classic evaluation bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Standardizer", "unit_normalize", "split_database_queries"]
+
+
+@dataclass
+class Standardizer:
+    """Per-feature zero-mean/unit-variance transform (fit on the database)."""
+
+    mean: np.ndarray
+    std: np.ndarray
+
+    @classmethod
+    def fit(cls, X: np.ndarray) -> "Standardizer":
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        if X.shape[0] < 2:
+            raise ValueError("need at least 2 points to fit")
+        std = X.std(axis=0)
+        # constant features carry no metric information; mapping them to 0
+        # (rather than dividing by ~0) keeps distances finite
+        std = np.where(std > 0, std, 1.0)
+        return cls(mean=X.mean(axis=0), std=std)
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        if X.shape[1] != self.mean.shape[0]:
+            raise ValueError(
+                f"fitted for d={self.mean.shape[0]}, got d={X.shape[1]}"
+            )
+        return (X - self.mean) / self.std
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        fitted = Standardizer.fit(X)
+        self.mean, self.std = fitted.mean, fitted.std
+        return self.transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        return np.atleast_2d(np.asarray(X)) * self.std + self.mean
+
+
+def unit_normalize(X: np.ndarray) -> np.ndarray:
+    """Project rows onto the unit sphere (for the angular metric).
+
+    Zero rows are rejected: they have no direction.
+    """
+    X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+    norms = np.linalg.norm(X, axis=1, keepdims=True)
+    if (norms == 0).any():
+        raise ValueError("cannot normalize zero vectors")
+    return X / norms
+
+
+def split_database_queries(
+    X: np.ndarray, n_queries: int, *, seed=0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Random disjoint (database, queries) split of one point set.
+
+    This is how every experiment in this repo obtains queries: held-out
+    points of the *same* distribution (queries drawn from elsewhere have
+    unbounded expansion rate jointly with the database — see
+    docs/usage.md, "common pitfalls").
+    """
+    X = np.atleast_2d(np.asarray(X))
+    if not 0 < n_queries < X.shape[0]:
+        raise ValueError(
+            f"need 0 < n_queries < n, got n_queries={n_queries}, n={X.shape[0]}"
+        )
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    perm = rng.permutation(X.shape[0])
+    return X[perm[n_queries:]], X[perm[:n_queries]]

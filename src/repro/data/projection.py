@@ -1,0 +1,45 @@
+"""Johnson–Lindenstrauss random projection.
+
+The paper reduces the Tiny Images descriptors with "the method of random
+projections", justified by the Johnson–Lindenstrauss lemma (§7.1, footnote
+3): a random linear map to ``k`` dimensions approximately preserves all
+pairwise Euclidean distances with high probability, making it a useful
+preprocessor for NN search.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["random_projection", "jl_dimension"]
+
+
+def jl_dimension(n: int, eps: float = 0.2) -> int:
+    """Target dimension sufficient for ``(1 ± eps)`` distortion over ``n``
+    points, per the standard JL bound ``k >= 8 ln(n) / eps^2``."""
+    if not 0 < eps < 1:
+        raise ValueError("eps must lie in (0, 1)")
+    if n < 2:
+        raise ValueError("need at least 2 points")
+    return max(1, int(math.ceil(8.0 * math.log(n) / eps**2)))
+
+
+def random_projection(
+    X: np.ndarray, k: int, *, seed=0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Project ``(n, d)`` data to ``k`` dimensions with a Gaussian map.
+
+    The map is ``G / sqrt(k)`` with ``G_ij ~ N(0, 1)``, so squared lengths
+    are preserved in expectation.  Returns ``(projected, map)``; apply the
+    same ``map`` to queries (``Q @ map``) so queries and database live in
+    the same projected space.
+    """
+    X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+    d = X.shape[1]
+    if not 1 <= k:
+        raise ValueError("k must be >= 1")
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    G = rng.normal(size=(d, k)) / math.sqrt(k)
+    return X @ G, G

@@ -1,0 +1,252 @@
+"""Synthetic dataset generators with controllable intrinsic dimensionality.
+
+The paper's datasets (UCI Bio/Covertype/Physics, a robot-arm trace, Tiny
+Images descriptors) are not redistributable at 10M-point scale, but the RBC
+theory depends on the data only through its size ``n`` and expansion rate
+``c``.  These generators expose exactly those dials: points are drawn from
+low-dimensional structures (manifolds, clusters, kinematic traces, smooth
+image fields) embedded in a higher ambient dimension plus noise, so the
+*intrinsic* dimensionality — the quantity every experiment varies — is a
+parameter rather than an accident.  See DESIGN.md §1 for the substitution
+argument and :mod:`repro.data.datasets` for the paper-analog registry.
+
+All generators take an explicit ``rng`` or seed and are deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "gaussian_mixture",
+    "uniform_hypercube",
+    "manifold",
+    "grid_l1",
+    "robot_arm",
+    "image_patches",
+    "random_strings",
+    "random_geometric_graph",
+]
+
+
+def _rng(seed) -> np.random.Generator:
+    return seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+
+
+def gaussian_mixture(
+    n: int,
+    dim: int,
+    *,
+    n_clusters: int = 20,
+    cluster_std: float = 0.3,
+    seed=0,
+) -> np.ndarray:
+    """Mixture of isotropic Gaussians — clustered data with low expansion
+    rate at small radii (points concentrate near centers)."""
+    rng = _rng(seed)
+    centers = rng.normal(size=(n_clusters, dim))
+    assignment = rng.integers(n_clusters, size=n)
+    return centers[assignment] + cluster_std * rng.normal(size=(n, dim))
+
+
+def uniform_hypercube(n: int, dim: int, *, seed=0) -> np.ndarray:
+    """Uniform points in ``[0, 1]^dim`` — the worst case: intrinsic
+    dimension equals ambient dimension."""
+    return _rng(seed).random((n, dim))
+
+
+def manifold(
+    n: int,
+    ambient_dim: int,
+    intrinsic_dim: int,
+    *,
+    noise: float = 0.01,
+    frequency_range: tuple[float, float] = (0.2, 0.8),
+    seed=0,
+) -> np.ndarray:
+    """A smooth ``intrinsic_dim``-dimensional manifold embedded in
+    ``ambient_dim`` dimensions.
+
+    Latent coordinates ``t ~ U[0,1]^intrinsic_dim`` are pushed through a
+    random smooth map built from sinusoids (each ambient coordinate is a
+    random low-frequency function of the latents), then perturbed by
+    isotropic noise.  The expansion rate of the result is governed by
+    ``intrinsic_dim``, not ``ambient_dim`` — the regime the RBC theory
+    (and the Cover Tree before it) targets.
+
+    ``frequency_range`` controls how strongly the embedding folds: the map
+    must stay near-injective at the nearest-neighbor scale or the
+    *effective* expansion rate blows up to that of the ambient space.  The
+    default keeps roughly one sine period across the latent cube, which is
+    gentle enough that intrinsic dimension — not curvature — governs local
+    neighborhoods at the database sizes used here.
+    """
+    if not 1 <= intrinsic_dim <= ambient_dim:
+        raise ValueError("need 1 <= intrinsic_dim <= ambient_dim")
+    rng = _rng(seed)
+    t = rng.random((n, intrinsic_dim))
+    freqs = rng.uniform(*frequency_range, size=(intrinsic_dim, ambient_dim))
+    phases = rng.uniform(0, 2 * np.pi, size=ambient_dim)
+    weights = rng.normal(size=(intrinsic_dim, ambient_dim)) / np.sqrt(intrinsic_dim)
+    X = np.sin(2 * np.pi * (t @ freqs) + phases) + t @ weights
+    if noise > 0:
+        X = X + noise * rng.normal(size=X.shape)
+    return X
+
+
+def grid_l1(side: int, dim: int, *, jitter: float = 0.0, seed=0) -> np.ndarray:
+    """The ``l1`` grid of Definition 1, whose expansion rate is ``2^dim``.
+
+    Returns the ``side**dim`` lattice points (optionally jittered); used by
+    the theory tests to check the expansion-rate estimator against the one
+    case with a known closed form.
+    """
+    if side**dim > 2_000_000:
+        raise ValueError("grid too large; reduce side or dim")
+    axes = [np.arange(side, dtype=np.float64)] * dim
+    mesh = np.meshgrid(*axes, indexing="ij")
+    X = np.stack([m.ravel() for m in mesh], axis=1)
+    if jitter > 0:
+        X = X + _rng(seed).uniform(-jitter, jitter, size=X.shape)
+    return X
+
+
+def robot_arm(
+    n: int,
+    *,
+    n_joints: int = 7,
+    seed=0,
+) -> np.ndarray:
+    """Kinematic states of a planar ``n_joints``-link arm — the analogue of
+    the paper's Barrett WAM robot data (21-dimensional, low intrinsic dim).
+
+    A smooth random joint-space trajectory (sum of sinusoids per joint) is
+    sampled; each record concatenates joint angles, joint velocities, and
+    the end-effector path, giving ``3 * n_joints`` correlated features
+    driven by ``n_joints`` latent degrees of freedom.
+    """
+    rng = _rng(seed)
+    tt = np.linspace(0.0, 40.0 * np.pi, n)
+    freqs = rng.uniform(0.1, 1.0, size=(n_joints, 3))
+    amps = rng.uniform(0.3, 1.2, size=(n_joints, 3))
+    phases = rng.uniform(0, 2 * np.pi, size=(n_joints, 3))
+    angles = np.zeros((n, n_joints))
+    for j in range(n_joints):
+        for h in range(3):
+            angles[:, j] += amps[j, h] * np.sin(freqs[j, h] * tt + phases[j, h])
+    velocities = np.gradient(angles, tt, axis=0)
+    # forward kinematics: cumulative angles -> unit links in the plane
+    cum = np.cumsum(angles, axis=1)
+    ee = np.concatenate([np.cos(cum), np.sin(cum)], axis=1)[:, : n_joints]
+    return np.concatenate([angles, velocities, ee], axis=1)
+
+
+def image_patches(
+    n: int,
+    patch: int = 16,
+    *,
+    n_fields: int = 64,
+    seed=0,
+) -> np.ndarray:
+    """Patch descriptors from smooth random fields — the analogue of the
+    Tiny Images descriptors the paper reduces with random projections.
+
+    ``n_fields`` smooth 2-D "images" (low-frequency Fourier fields) are
+    synthesized; patches are sampled at random positions with bilinear
+    intensity, giving natural-image-like spatial correlation.  Returns
+    ``(n, patch * patch)`` vectors — feed through
+    :func:`repro.data.projection.random_projection` as the paper does.
+    """
+    rng = _rng(seed)
+    size = 4 * patch
+    fields = []
+    yy, xx = np.mgrid[0:size, 0:size].astype(np.float64) / size
+    for _ in range(n_fields):
+        img = np.zeros((size, size))
+        for _ in range(6):  # a few random low-frequency waves per field
+            fx, fy = rng.uniform(0.5, 3.0, size=2)
+            ph = rng.uniform(0, 2 * np.pi)
+            amp = rng.uniform(0.3, 1.0)
+            img += amp * np.sin(2 * np.pi * (fx * xx + fy * yy) + ph)
+        fields.append(img)
+    out = np.empty((n, patch * patch))
+    field_of = rng.integers(n_fields, size=n)
+    pos = rng.integers(0, size - patch, size=(n, 2))
+    for i in range(n):
+        f = fields[field_of[i]]
+        r, c = pos[i]
+        out[i] = f[r : r + patch, c : c + patch].ravel()
+    return out
+
+
+def random_strings(
+    n: int,
+    *,
+    alphabet: str = "acgt",
+    min_len: int = 8,
+    max_len: int = 24,
+    n_seeds: int = 50,
+    mutation_rate: float = 0.15,
+    seed=0,
+) -> list[str]:
+    """Strings clustered around random seed sequences under edit distance —
+    a bioinformatics-flavoured workload for the general-metric demos."""
+    rng = _rng(seed)
+    letters = list(alphabet)
+    seeds = [
+        "".join(rng.choice(letters, size=rng.integers(min_len, max_len + 1)))
+        for _ in range(n_seeds)
+    ]
+    out = []
+    for _ in range(n):
+        s = list(seeds[rng.integers(n_seeds)])
+        i = 0
+        while i < len(s):
+            if rng.random() < mutation_rate:
+                op = rng.integers(3)
+                if op == 0:  # substitute
+                    s[i] = rng.choice(letters)
+                elif op == 1 and len(s) > 1:  # delete
+                    del s[i]
+                    continue
+                else:  # insert
+                    s.insert(i, rng.choice(letters))
+                    i += 1
+            i += 1
+        out.append("".join(s))
+    return out
+
+
+def random_geometric_graph(
+    n: int,
+    *,
+    radius: float | None = None,
+    seed=0,
+):
+    """A connected random geometric graph with Euclidean edge weights —
+    the substrate for the shortest-path-metric demos.
+
+    Returns ``(graph, positions)``; the graph is guaranteed connected (the
+    minimum spanning tree of the positions is unioned in).
+    """
+    import networkx as nx
+    from scipy.spatial import cKDTree
+
+    rng = _rng(seed)
+    pos = rng.random((n, 2))
+    radius = radius if radius is not None else 1.8 * np.sqrt(np.log(max(n, 2)) / n)
+    tree = cKDTree(pos)
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    for i, j in tree.query_pairs(radius):
+        g.add_edge(int(i), int(j), weight=float(np.linalg.norm(pos[i] - pos[j])))
+    # ensure connectivity via the complete graph's Euclidean MST
+    comp = list(nx.connected_components(g))
+    while len(comp) > 1:
+        a = next(iter(comp[0]))
+        # connect each stray component to its nearest node outside it
+        for other in comp[1:]:
+            b = next(iter(other))
+            g.add_edge(a, b, weight=float(np.linalg.norm(pos[a] - pos[b])))
+        comp = list(nx.connected_components(g))
+    return g, pos

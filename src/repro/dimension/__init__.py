@@ -1,0 +1,5 @@
+"""Intrinsic-dimensionality estimation (expansion rate, Definition 1)."""
+
+from .expansion import ExpansionEstimate, doubling_dimension, estimate_expansion_rate
+
+__all__ = ["ExpansionEstimate", "doubling_dimension", "estimate_expansion_rate"]

@@ -1,0 +1,106 @@
+"""Expansion-rate (growth-dimension) estimation.
+
+Definition 1 of the paper: a finite metric space has expansion rate ``c``
+if ``|B(x, 2r)| <= c * |B(x, r)|`` for every point ``x`` and radius ``r``.
+``log2 c`` plays the role of an intrinsic dimension (on the ``l1`` grid in
+``R^d``, ``c = 2^d``).
+
+An exact computation needs all ``n^2`` distances and all radii; the
+estimator here samples ball centers and a geometric grid of radii, which is
+the standard practical compromise (the exact sup over radii is dominated by
+degenerate tiny balls, so we also floor the inner ball count).  The
+estimate feeds the parameter rules in :mod:`repro.core.params` and the
+theory benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..metrics import get_metric
+from ..metrics.base import Metric
+
+__all__ = ["ExpansionEstimate", "estimate_expansion_rate", "doubling_dimension"]
+
+
+@dataclass(frozen=True)
+class ExpansionEstimate:
+    """Result of the sampling estimator.
+
+    ``c`` is the chosen summary (a high quantile of per-(center, radius)
+    ratios — the literal max is hugely noise-sensitive); ``c_max`` is the
+    observed max; ``log2_c`` is the growth-dimension reading.
+    """
+
+    c: float
+    c_max: float
+    c_median: float
+    n_centers: int
+    n_radii: int
+
+    @property
+    def log2_c(self) -> float:
+        return float(np.log2(self.c))
+
+
+def estimate_expansion_rate(
+    X,
+    metric: str | Metric = "euclidean",
+    *,
+    n_centers: int = 64,
+    n_radii: int = 16,
+    min_ball: int = 8,
+    quantile: float = 0.9,
+    seed=0,
+) -> ExpansionEstimate:
+    """Estimate the expansion rate of ``X`` under ``metric``.
+
+    For each sampled center the distances to all of ``X`` are computed
+    once; ball cardinalities at radii ``r`` and ``2r`` are then rank
+    lookups in the sorted distance list.  Radii span the distance range
+    geometrically; balls smaller than ``min_ball`` points are skipped
+    (their ratios are dominated by discreteness, inflating ``c``).
+    """
+    metric = get_metric(metric)
+    n = metric.length(X)
+    if n < 2 * min_ball:
+        raise ValueError(f"need at least {2 * min_ball} points")
+    if not 0.0 < quantile <= 1.0:
+        raise ValueError("quantile must lie in (0, 1]")
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    centers = rng.choice(n, size=min(n_centers, n), replace=False)
+
+    ratios = []
+    for cidx in centers:
+        center = metric.take(X, [cidx])
+        d = np.sort(metric.pairwise(center, X)[0])
+        d_pos = d[d > 0]
+        if d_pos.size < 2:
+            continue
+        lo, hi = d_pos[0], d_pos[-1] / 2.0
+        if hi <= lo:
+            continue
+        radii = np.geomspace(lo, hi, n_radii)
+        inner = np.searchsorted(d, radii, side="right")
+        outer = np.searchsorted(d, 2.0 * radii, side="right")
+        ok = inner >= min_ball
+        ratios.extend((outer[ok] / inner[ok]).tolist())
+    if not ratios:
+        raise ValueError("no usable (center, radius) pairs; data degenerate?")
+    ratios = np.asarray(ratios)
+    return ExpansionEstimate(
+        c=float(np.quantile(ratios, quantile)),
+        c_max=float(ratios.max()),
+        c_median=float(np.median(ratios)),
+        n_centers=len(centers),
+        n_radii=n_radii,
+    )
+
+
+def doubling_dimension(
+    X, metric: str | Metric = "euclidean", **kwargs
+) -> float:
+    """``log2`` of the estimated expansion rate — the dimension reading."""
+    return estimate_expansion_rate(X, metric, **kwargs).log2_c

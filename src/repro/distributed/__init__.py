@@ -1,0 +1,23 @@
+"""Distributed RBC: the paper's §8 future-work study, carried out.
+
+The database is sharded by representative (each node holds some
+representatives with their full ownership lists); queries are pruned at a
+coordinator with the exact-search rules and travel only to the nodes that
+can own their answers.  Compared against broadcast-everything random
+sharding, with communication and per-node compute accounted explicitly.
+"""
+
+from .cluster import ClusterSpec, CommStats, NetworkSpec
+from .engine import DistributedBruteForce, DistributedRBC, DistRunReport
+from .partition import partition_by_representatives, partition_random
+
+__all__ = [
+    "ClusterSpec",
+    "CommStats",
+    "NetworkSpec",
+    "DistributedBruteForce",
+    "DistributedRBC",
+    "DistRunReport",
+    "partition_by_representatives",
+    "partition_random",
+]

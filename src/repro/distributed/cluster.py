@@ -1,0 +1,106 @@
+"""Cluster model: compute nodes joined by a network.
+
+Paper §8 proposes exactly this study: "an interesting direction for future
+work is to explore the performance of the RBC in a distributed or
+multi-GPU environment.  The RBC data structure suggests a simple
+distribution of the database according to the representatives...  There
+are many interesting details for study here, such as I/O and communication
+costs."  This package carries out that study.
+
+A :class:`ClusterSpec` is a coordinator plus ``n_nodes`` worker nodes —
+each an arbitrary :class:`~repro.simulator.machine.MachineSpec` (CPU or
+GPU model, enabling the multi-GPU variant) — connected by links with
+latency and bandwidth.  Message cost is the standard alpha-beta model
+``latency + bytes / bandwidth``; scatters/gathers to distinct nodes
+overlap (different links), so a communication phase costs the max over
+nodes, plus a per-message coordinator occupancy charge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..simulator.machine import MachineSpec
+
+__all__ = ["NetworkSpec", "ClusterSpec", "CommStats"]
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Point-to-point link model (alpha-beta)."""
+
+    latency_us: float = 25.0  # per-message latency (switch + stack)
+    bandwidth_gbs: float = 10.0  # per-link bandwidth
+    #: coordinator-side per-message CPU occupancy (serialization etc.)
+    per_message_overhead_us: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.latency_us < 0 or self.bandwidth_gbs <= 0:
+            raise ValueError("invalid network parameters")
+
+    def message_time(self, n_bytes: float) -> float:
+        """Seconds to move one message of ``n_bytes`` over one link."""
+        return self.latency_us * 1e-6 + n_bytes / (self.bandwidth_gbs * 1e9)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A coordinator plus homogeneous (or mixed) worker nodes."""
+
+    nodes: tuple[MachineSpec, ...]
+    network: NetworkSpec = field(default_factory=NetworkSpec)
+    coordinator: MachineSpec | None = None  # defaults to nodes[0]'s spec
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ValueError("cluster needs at least one node")
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def coordinator_spec(self) -> MachineSpec:
+        return self.coordinator if self.coordinator is not None else self.nodes[0]
+
+    @classmethod
+    def homogeneous(
+        cls,
+        n_nodes: int,
+        node: MachineSpec,
+        network: NetworkSpec | None = None,
+    ) -> "ClusterSpec":
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        return cls(
+            nodes=tuple([node] * n_nodes),
+            network=network or NetworkSpec(),
+        )
+
+    def comm_phase_time(self, bytes_per_node: list[float]) -> float:
+        """Time for one scatter or gather.
+
+        Transfers to distinct nodes ride distinct links and overlap; the
+        coordinator serially pays a small per-message overhead.
+        """
+        if len(bytes_per_node) != self.n_nodes:
+            raise ValueError("one byte count per node required")
+        active = [b for b in bytes_per_node if b > 0]
+        if not active:
+            return 0.0
+        slowest = max(self.network.message_time(b) for b in active)
+        coord = len(active) * self.network.per_message_overhead_us * 1e-6
+        return slowest + coord
+
+
+@dataclass
+class CommStats:
+    """Communication accounting for one distributed operation."""
+
+    bytes_to_nodes: list[float] = field(default_factory=list)
+    bytes_from_nodes: list[float] = field(default_factory=list)
+    messages: int = 0
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(self.bytes_to_nodes) + sum(self.bytes_from_nodes)

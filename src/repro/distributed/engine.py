@@ -1,0 +1,382 @@
+"""Distributed nearest-neighbor engines (paper §8's future-work study).
+
+Two engines over the same :class:`~repro.distributed.cluster.ClusterSpec`:
+
+* :class:`DistributedRBC` — the paper's proposal: the database is
+  distributed *by representative*; each node stores some representatives
+  with their complete ownership lists.  A query is pruned at the
+  coordinator using the exact-search rules (one small ``BF(Q, R)`` — the
+  representative table is tiny, O(√n), and lives on the coordinator), then
+  travels only to the nodes hosting its surviving representatives.  The
+  second brute-force stage is entirely node-local, and the result merge is
+  k values per contacted node.  Answers are exact.
+
+* :class:`DistributedBruteForce` — the baseline: random row sharding;
+  every query is broadcast to every node, every node scans its full shard,
+  and the coordinator merges.
+
+Both engines really execute their searches (results are verified exact in
+the tests); nodes are simulated in-process, with per-node work recorded as
+operation traces and communication counted message-by-message.  The
+returned :class:`DistRunReport` breaks the modeled time into coordinator
+compute, scatter, node compute (max over nodes), gather, and merge — the
+"I/O and communication costs" the paper flags for study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.exact import ExactRBC
+from ..metrics import get_metric
+from ..parallel.bruteforce import _record_dist_tile
+from ..parallel.reduce import EMPTY_IDX, merge_topk, topk_of_block
+from ..simulator.machine import simulate
+from ..simulator.trace import TraceRecorder
+from .cluster import ClusterSpec, CommStats
+from .partition import partition_by_representatives, partition_random
+
+__all__ = ["DistRunReport", "DistributedRBC", "DistributedBruteForce"]
+
+_ID_BYTES = 8.0
+_FLOAT_BYTES = 8.0
+
+
+@dataclass
+class DistRunReport:
+    """Cost breakdown of one distributed query batch."""
+
+    n_queries: int
+    #: distance evaluations performed by each node
+    node_evals: list[int]
+    comm: CommStats
+    coordinator_s: float
+    scatter_s: float
+    compute_s: float  # max over nodes
+    gather_s: float
+    merge_s: float
+    #: per-node modeled compute seconds (diagnostics / balance)
+    node_compute_s: list[float] = field(default_factory=list)
+
+    @property
+    def total_s(self) -> float:
+        return (
+            self.coordinator_s
+            + self.scatter_s
+            + self.compute_s
+            + self.gather_s
+            + self.merge_s
+        )
+
+    @property
+    def comm_fraction(self) -> float:
+        t = self.total_s
+        return (self.scatter_s + self.gather_s) / t if t > 0 else 0.0
+
+    @property
+    def balance(self) -> float:
+        """Mean/max node compute time (1.0 = perfectly balanced)."""
+        if not self.node_compute_s or max(self.node_compute_s) == 0:
+            return 1.0
+        return float(np.mean(self.node_compute_s) / max(self.node_compute_s))
+
+
+def _node_compute_time(node_spec, metric, dim, eval_counts: list[int]) -> float:
+    """Modeled time for one node to run its per-query candidate scans."""
+    rec = TraceRecorder()
+    with rec.phase("node"):
+        for c in eval_counts:
+            if c > 0:
+                _record_dist_tile(rec, metric, 1, c, dim, "node:scan")
+    return simulate(rec.trace, node_spec).time_s
+
+
+class DistributedRBC:
+    """Exact distributed k-NN with representative-based sharding."""
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        metric="euclidean",
+        *,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        self.cluster = cluster
+        self.metric = get_metric(metric)
+        self.seed = seed
+        self.index: ExactRBC | None = None
+        #: representative indices hosted by each node
+        self.node_reps: list[list[int]] = []
+        #: node hosting each representative
+        self.rep_node: np.ndarray | None = None
+        self.last_report: DistRunReport | None = None
+
+    def build(self, X, n_reps: int | None = None, *, c: float = 1.0):
+        """Build the cover centrally, then shard lists by representative.
+
+        Build communication is one-time: each node receives its
+        representatives' points (counted in ``build_comm``).
+        """
+        self.index = ExactRBC(metric=self.metric, seed=self.seed)
+        self.index.build(X, n_reps=n_reps, c=c)
+        sizes = [lst.size for lst in self.index.lists]
+        self.node_reps = partition_by_representatives(
+            sizes, self.cluster.n_nodes
+        )
+        self.rep_node = np.empty(self.index.n_reps, dtype=np.int64)
+        for w, reps in enumerate(self.node_reps):
+            for j in reps:
+                self.rep_node[j] = w
+        dim = self.metric.dim(X)
+        self.build_comm = CommStats(
+            bytes_to_nodes=[
+                float(
+                    sum(sizes[j] for j in reps) * dim * _FLOAT_BYTES
+                )
+                for reps in self.node_reps
+            ],
+            bytes_from_nodes=[0.0] * self.cluster.n_nodes,
+            messages=self.cluster.n_nodes,
+        )
+        return self
+
+    def points_per_node(self) -> list[int]:
+        """How many database points each node stores."""
+        if self.index is None:
+            raise RuntimeError("call build(X) first")
+        return [
+            int(sum(self.index.lists[j].size for j in reps))
+            for reps in self.node_reps
+        ]
+
+    def query(self, Q, k: int = 1) -> tuple[np.ndarray, np.ndarray]:
+        """Exact k-NN over the cluster; cost breakdown in ``last_report``."""
+        if self.index is None:
+            raise RuntimeError("call build(X) first")
+        idx = self.index
+        metric = self.metric
+        cluster = self.cluster
+        Qb = Q if isinstance(Q, np.ndarray) and Q.ndim == 2 else metric._as_batch(Q)
+        m = metric.length(Qb)
+        dim = metric.dim(Qb)
+        nr = idx.n_reps
+
+        # ---- coordinator: BF(Q, R), gamma, pruning (exact-search rules)
+        coord_rec = TraceRecorder()
+        with coord_rec.phase("coord:stage1"):
+            D_R = metric.pairwise(Qb, idx.rep_data)
+            _record_dist_tile(coord_rec, metric, m, nr, dim, "coord:stage1")
+        kk = min(k, nr)
+        gamma = np.partition(D_R, kk - 1, axis=1)[:, kk - 1]
+
+        keep = (D_R - idx.radii[None, :] < gamma[:, None]) & (
+            D_R <= 3.0 * gamma[:, None]
+        )
+        coordinator_s = simulate(coord_rec.trace, cluster.coordinator_spec).time_s
+
+        # ---- routing: which queries touch which node, and their candidates
+        per_node_tasks: list[list[tuple[int, np.ndarray]]] = [
+            [] for _ in range(cluster.n_nodes)
+        ]
+        bytes_to = [0.0] * cluster.n_nodes
+        messages = 0
+        for qi in range(m):
+            js = np.flatnonzero(keep[qi])
+            # node-local trim (Claim 2): the node can evaluate the cut
+            # itself from rho(q, r) + gamma, both shipped with the query
+            touched: dict[int, list[np.ndarray]] = {}
+            for j in js:
+                cut = np.searchsorted(
+                    idx.list_dists[j], D_R[qi, j] + gamma[qi], side="right"
+                )
+                if cut == 0:
+                    continue
+                touched.setdefault(int(self.rep_node[j]), []).append(
+                    idx.lists[j][:cut]
+                )
+            # representative seeds keep boundary ties exact; the
+            # coordinator already knows their distances, so they cost no
+            # communication (handled at merge below)
+            for w, cand_parts in touched.items():
+                cand = np.concatenate(cand_parts)
+                per_node_tasks[w].append((qi, cand))
+                # message: query vector + per-rep (id, cut bound) + gamma
+                bytes_to[w] += (
+                    dim * _FLOAT_BYTES
+                    + len(cand_parts) * (_ID_BYTES + _FLOAT_BYTES)
+                    + _FLOAT_BYTES
+                )
+                messages += 1
+
+        # ---- node-local brute force over shipped candidate lists
+        node_evals = [0] * cluster.n_nodes
+        node_results: list[list[tuple[int, np.ndarray, np.ndarray]]] = [
+            [] for _ in range(cluster.n_nodes)
+        ]
+        node_times = []
+        for w, tasks in enumerate(per_node_tasks):
+            counts = []
+            for qi, cand in tasks:
+                D2 = metric.pairwise(
+                    metric.take(Qb, [qi]), metric.take(idx.X, cand)
+                )
+                d, li = topk_of_block(D2, k)
+                gi = np.where(li[0] >= 0, cand[np.clip(li[0], 0, None)], EMPTY_IDX)
+                node_results[w].append((qi, d[0], gi))
+                node_evals[w] += cand.size
+                counts.append(cand.size)
+            node_times.append(
+                _node_compute_time(cluster.nodes[w], metric, dim, counts)
+            )
+
+        # ---- gather + merge at the coordinator
+        bytes_from = [
+            len(tasks) * k * (_FLOAT_BYTES + _ID_BYTES)
+            for tasks in per_node_tasks
+        ]
+        # merge width 2k: a representative can arrive both as a seed and
+        # inside its own shipped list, and duplicates must not be able to
+        # push a genuine neighbor past the merge window before the dedupe
+        W = 2 * k
+        seed_order = np.argsort(D_R, axis=1, kind="stable")[:, :kk]
+        seed_d = np.take_along_axis(D_R, seed_order, axis=1)
+        seed_i = idx.rep_ids[seed_order].astype(np.int64)
+        out_d = np.pad(seed_d, ((0, 0), (0, W - kk)), constant_values=np.inf)
+        out_i = np.pad(seed_i, ((0, 0), (0, W - kk)), constant_values=EMPTY_IDX)
+        for w in range(cluster.n_nodes):
+            for qi, d, gi in node_results[w]:
+                dw = np.pad(d, (0, W - d.size), constant_values=np.inf)
+                gw = np.pad(gi, (0, W - gi.size), constant_values=EMPTY_IDX)
+                md, mi = merge_topk(
+                    (out_d[qi : qi + 1], out_i[qi : qi + 1]),
+                    (dw[None, :], gw[None, :]),
+                )
+                out_d[qi], out_i[qi] = md[0], mi[0]
+        out_d, out_i = _dedupe_batch(out_d, out_i, k)
+
+        merge_s = _merge_time(cluster, m, k, messages)
+        self.last_report = DistRunReport(
+            n_queries=m,
+            node_evals=node_evals,
+            comm=CommStats(bytes_to, bytes_from, messages),
+            coordinator_s=coordinator_s,
+            scatter_s=cluster.comm_phase_time(bytes_to),
+            compute_s=max(node_times) if node_times else 0.0,
+            gather_s=cluster.comm_phase_time(bytes_from),
+            merge_s=merge_s,
+            node_compute_s=node_times,
+        )
+        return out_d, out_i
+
+
+class DistributedBruteForce:
+    """Exact distributed k-NN with random row sharding (the baseline)."""
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        metric="euclidean",
+        *,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        self.cluster = cluster
+        self.metric = get_metric(metric)
+        self.rng = (
+            seed
+            if isinstance(seed, np.random.Generator)
+            else np.random.default_rng(seed)
+        )
+        self.X = None
+        self.shards: list[np.ndarray] = []
+        self.last_report: DistRunReport | None = None
+
+    def build(self, X):
+        self.X = X
+        n = self.metric.length(X)
+        if n == 0:
+            raise ValueError("database is empty")
+        self.shards = partition_random(n, self.cluster.n_nodes, self.rng)
+        dim = self.metric.dim(X)
+        self.build_comm = CommStats(
+            bytes_to_nodes=[
+                float(s.size * dim * _FLOAT_BYTES) for s in self.shards
+            ],
+            bytes_from_nodes=[0.0] * self.cluster.n_nodes,
+            messages=self.cluster.n_nodes,
+        )
+        return self
+
+    def points_per_node(self) -> list[int]:
+        if self.X is None:
+            raise RuntimeError("call build(X) first")
+        return [int(s.size) for s in self.shards]
+
+    def query(self, Q, k: int = 1) -> tuple[np.ndarray, np.ndarray]:
+        if self.X is None:
+            raise RuntimeError("call build(X) first")
+        metric = self.metric
+        cluster = self.cluster
+        Qb = Q if isinstance(Q, np.ndarray) and Q.ndim == 2 else metric._as_batch(Q)
+        m = metric.length(Qb)
+        dim = metric.dim(Qb)
+
+        # broadcast all queries to all nodes
+        bytes_to = [float(m * dim * _FLOAT_BYTES)] * cluster.n_nodes
+        node_evals = []
+        node_times = []
+        partials = []
+        for w, shard in enumerate(self.shards):
+            if shard.size == 0:
+                node_evals.append(0)
+                node_times.append(0.0)
+                partials.append(None)
+                continue
+            D = metric.pairwise(Qb, metric.take(self.X, shard))
+            d, li = topk_of_block(D, k)
+            gi = np.where(li >= 0, shard[np.clip(li, 0, None)], EMPTY_IDX)
+            partials.append((d, gi))
+            node_evals.append(int(D.size))
+            rec = TraceRecorder()
+            with rec.phase("node"):
+                _record_dist_tile(rec, metric, m, shard.size, dim, "node:scan")
+            node_times.append(simulate(rec.trace, cluster.nodes[w]).time_s)
+
+        bytes_from = [float(m * k * (_FLOAT_BYTES + _ID_BYTES))] * cluster.n_nodes
+        out_d = np.full((m, k), np.inf)
+        out_i = np.full((m, k), EMPTY_IDX, dtype=np.int64)
+        for part in partials:
+            if part is not None:
+                out_d, out_i = merge_topk((out_d, out_i), part)
+
+        self.last_report = DistRunReport(
+            n_queries=m,
+            node_evals=node_evals,
+            comm=CommStats(bytes_to, bytes_from, 2 * cluster.n_nodes),
+            coordinator_s=0.0,
+            scatter_s=cluster.comm_phase_time(bytes_to),
+            compute_s=max(node_times) if node_times else 0.0,
+            gather_s=cluster.comm_phase_time(bytes_from),
+            merge_s=_merge_time(cluster, m, k, cluster.n_nodes),
+            node_compute_s=node_times,
+        )
+        return out_d, out_i
+
+
+def _merge_time(cluster: ClusterSpec, m: int, k: int, n_messages: int) -> float:
+    """Coordinator-side merge cost: a tree of k-way row merges."""
+    from ..simulator.trace import Op, Phase, Trace
+
+    if n_messages == 0:
+        return 0.0
+    flops = 4.0 * m * k * max(1, int(np.ceil(np.log2(n_messages + 1))))
+    trace = Trace([Phase("merge", [Op("reduce", flops, 8.0 * m * k)])])
+    return simulate(trace, cluster.coordinator_spec).time_s
+
+
+def _dedupe_batch(d: np.ndarray, i: np.ndarray, k: int):
+    """Representative seeds also live in some node's list; drop repeats."""
+    from ..parallel.reduce import dedupe_rows
+
+    return dedupe_rows(d, i, k)

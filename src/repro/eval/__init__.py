@@ -1,0 +1,20 @@
+"""Evaluation: rank error, recall, and the experiment harness."""
+
+from .plots import ascii_plot
+from .harness import QueryRun, format_table, geomean, traced_build, traced_query
+from .rank import mean_rank, ranks_of_results
+from .recall import distance_ratio, recall_at_k, results_match_exactly
+
+__all__ = [
+    "ascii_plot",
+    "QueryRun",
+    "format_table",
+    "geomean",
+    "traced_build",
+    "traced_query",
+    "mean_rank",
+    "ranks_of_results",
+    "distance_ratio",
+    "recall_at_k",
+    "results_match_exactly",
+]

@@ -1,0 +1,114 @@
+"""Experiment harness: run indexes, collect work/time, format paper tables.
+
+Every benchmark follows the same recipe: build an index, run a traced
+query batch, replay the trace on the relevant machine models, and compare
+against brute force on the same models.  This module centralizes that
+recipe so each benchmark file only declares its workload and parameters.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..simulator.machine import MachineSpec, SimResult, simulate
+from ..simulator.trace import TraceRecorder
+
+__all__ = ["QueryRun", "traced_query", "traced_build", "format_table", "geomean"]
+
+
+@dataclass
+class QueryRun:
+    """Everything measured for one query batch on one index."""
+
+    name: str
+    dist: np.ndarray
+    idx: np.ndarray
+    wall_s: float
+    #: distance evaluations spent by this batch
+    evals: int
+    #: machine-name -> simulated replay of the recorded trace
+    sims: dict[str, SimResult] = field(default_factory=dict)
+
+    def sim_time(self, machine: MachineSpec) -> float:
+        return self.sims[machine.name].time_s
+
+
+def traced_query(
+    index,
+    Q,
+    machines: list[MachineSpec],
+    *,
+    k: int = 1,
+    name: str | None = None,
+    **query_kwargs,
+) -> QueryRun:
+    """Run ``index.query`` once with tracing; replay on each machine.
+
+    The index's metric counter is snapshotted around the call, so ``evals``
+    is exactly this batch's work.
+    """
+    recorder = TraceRecorder()
+    before = index.metric.counter.n_evals
+    t0 = time.perf_counter()
+    dist, idx = index.query(Q, k, recorder=recorder, **query_kwargs)
+    wall = time.perf_counter() - t0
+    evals = index.metric.counter.n_evals - before
+    sims = {m.name: simulate(recorder.trace, m) for m in machines}
+    return QueryRun(
+        name=name or type(index).__name__,
+        dist=dist,
+        idx=idx,
+        wall_s=wall,
+        evals=evals,
+        sims=sims,
+    )
+
+
+def traced_build(
+    index, X, machines: list[MachineSpec], **build_kwargs
+) -> dict[str, SimResult]:
+    """Build ``index`` on ``X`` with tracing; replay on each machine."""
+    recorder = TraceRecorder()
+    index.build(X, recorder=recorder, **build_kwargs)
+    return {m.name: simulate(recorder.trace, m) for m in machines}
+
+
+def geomean(values) -> float:
+    """Geometric mean (the right average for speedup ratios)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0 or (arr <= 0).any():
+        raise ValueError("geomean needs positive values")
+    return float(np.exp(np.log(arr).mean()))
+
+
+def format_table(headers: list[str], rows: list[list], *, title: str = "") -> str:
+    """Fixed-width ASCII table, floats rendered to 3 significant figures.
+
+    Benchmarks print these so the generated output can be compared line by
+    line with the paper's tables.
+    """
+
+    def render(v) -> str:
+        if isinstance(v, float):
+            if v == 0 or (0.01 <= abs(v) < 10_000):
+                return f"{v:.3g}"
+            return f"{v:.2e}"
+        return str(v)
+
+    cells = [[render(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,104 @@
+"""Terminal figure rendering.
+
+The paper's Figures 1-3 are log/log-log plots; the benchmarks regenerate
+their data and render them as fixed-width ASCII so a diff of
+``benchmarks/out/`` shows the curve shapes without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _transform(v: float, log: bool) -> float:
+    if log:
+        if v <= 0:
+            raise ValueError(f"log axis requires positive values, got {v}")
+        return math.log10(v)
+    return v
+
+
+def _format_tick(v: float, log: bool) -> str:
+    if log:
+        return f"1e{v:+.0f}" if abs(v - round(v)) < 1e-9 else f"{10**v:.2g}"
+    return f"{v:.3g}"
+
+
+def ascii_plot(
+    series: dict[str, Sequence[tuple[float, float]]],
+    *,
+    width: int = 64,
+    height: int = 18,
+    logx: bool = False,
+    logy: bool = False,
+    xlabel: str = "x",
+    ylabel: str = "y",
+    title: str = "",
+) -> str:
+    """Render named point series on one character grid.
+
+    Each series gets a marker from ``oX+*...``; later series overwrite
+    earlier ones where they collide.  Log axes transform before gridding,
+    so log-log straight lines render straight.
+    """
+    if not series or all(len(pts) == 0 for pts in series.values()):
+        raise ValueError("nothing to plot")
+    if width < 16 or height < 4:
+        raise ValueError("plot area too small")
+
+    pts_t: dict[str, list[tuple[float, float]]] = {}
+    for label, pts in series.items():
+        pts_t[label] = [
+            (_transform(x, logx), _transform(y, logy)) for x, y in pts
+        ]
+    xs = [x for pts in pts_t.values() for x, _ in pts]
+    ys = [y for pts in pts_t.values() for _, y in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (label, pts) in enumerate(pts_t.items()):
+        marker = _MARKERS[si % len(_MARKERS)]
+        for x, y in pts:
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - round((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    top = _format_tick(y_hi, logy)
+    bot = _format_tick(y_lo, logy)
+    pad = max(len(top), len(bot), len(ylabel))
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = top
+        elif r == height - 1:
+            label = bot
+        elif r == height // 2:
+            label = ylabel[:pad]
+        else:
+            label = ""
+        lines.append(f"{label:>{pad}} |" + "".join(row))
+    lines.append(" " * pad + " +" + "-" * width)
+    left = _format_tick(x_lo, logx)
+    right = _format_tick(x_hi, logx)
+    gap = width - len(left) - len(right) - len(xlabel)
+    if gap >= 2:
+        axis = left + " " * (gap // 2) + xlabel + " " * (gap - gap // 2) + right
+    else:
+        axis = f"{left} .. {right}  ({xlabel})"
+    lines.append(" " * pad + "  " + axis)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {label}"
+        for i, label in enumerate(pts_t)
+    )
+    lines.append(" " * pad + "  " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Rank error: the paper's quality measure for approximate search.
+
+"A standard error measure is the rank of the returned point: i.e., the
+number of database points closer to the query than the returned point"
+(§7.2, citing Ram et al.).  Rank 0 is the exact NN, rank 1 the second NN,
+and Figure 1 plots speedup against the *average* rank over queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..metrics import get_metric
+from ..metrics.base import Metric
+from ..parallel.blocking import row_chunks
+
+__all__ = ["ranks_of_results", "mean_rank"]
+
+
+def ranks_of_results(
+    Q,
+    X,
+    returned_idx: np.ndarray,
+    metric: str | Metric = "euclidean",
+    *,
+    chunk: int = 256,
+) -> np.ndarray:
+    """Rank of each returned point: how many database points are strictly
+    closer to the query.
+
+    ``returned_idx`` is ``(m,)`` (or ``(m, k)``, in which case the first
+    column — the claimed nearest — is scored).  Entries of ``-1`` (no
+    result) score ``n``.  Cost is one brute-force pass, O(mn); evaluation
+    only, never part of a timed search.
+    """
+    metric = get_metric(metric)
+    returned_idx = np.asarray(returned_idx)
+    if returned_idx.ndim == 2:
+        returned_idx = returned_idx[:, 0]
+    m = returned_idx.shape[0]
+    n = metric.length(X)
+    ranks = np.empty(m, dtype=np.int64)
+    for lo, hi in row_chunks(m, chunk):
+        Qc = metric.take(Q, np.arange(lo, hi))
+        D = metric.pairwise(Qc, X)
+        for i in range(lo, hi):
+            ri = returned_idx[i]
+            if ri < 0:
+                ranks[i] = n
+                continue
+            d_ret = D[i - lo, ri]
+            ranks[i] = int(np.count_nonzero(D[i - lo] < d_ret))
+    return ranks
+
+
+def mean_rank(
+    Q, X, returned_idx: np.ndarray, metric: str | Metric = "euclidean"
+) -> float:
+    """Average rank over queries — the x-axis of the paper's Figure 1."""
+    return float(ranks_of_results(Q, X, returned_idx, metric).mean())

@@ -1,0 +1,61 @@
+"""Recall@k and exactness checks against ground truth."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["recall_at_k", "results_match_exactly", "distance_ratio"]
+
+
+def recall_at_k(found_idx: np.ndarray, true_idx: np.ndarray) -> float:
+    """Fraction of true k-NN ids recovered, averaged over queries.
+
+    Both arguments are ``(m, k)`` index arrays; ``-1`` padding in either is
+    ignored.  Note recall is id-based: under distance ties it can
+    under-credit a correct-by-distance answer — use
+    :func:`results_match_exactly` for tie-aware exactness.
+    """
+    found_idx = np.atleast_2d(found_idx)
+    true_idx = np.atleast_2d(true_idx)
+    if found_idx.shape[0] != true_idx.shape[0]:
+        raise ValueError("query counts differ")
+    hits, total = 0, 0
+    for f, t in zip(found_idx, true_idx):
+        tset = set(int(x) for x in t if x >= 0)
+        if not tset:
+            continue
+        hits += len(tset & set(int(x) for x in f if x >= 0))
+        total += len(tset)
+    return hits / total if total else 1.0
+
+
+def results_match_exactly(
+    found_d: np.ndarray,
+    true_d: np.ndarray,
+    *,
+    rtol: float = 1e-9,
+    atol: float = 1e-9,
+) -> bool:
+    """Tie-aware exactness: the returned distance rows equal the true ones.
+
+    Two different points at the same distance are both correct answers, so
+    exact search is validated on distances, not ids.
+    """
+    return bool(
+        np.allclose(np.atleast_2d(found_d), np.atleast_2d(true_d), rtol=rtol, atol=atol)
+    )
+
+
+def distance_ratio(found_d: np.ndarray, true_d: np.ndarray) -> float:
+    """Mean ratio of returned to true NN distance (>= 1; 1 is exact).
+
+    The natural quality measure for the ``(1 + eps)``-approximate mode.
+    Rows where the true distance is zero are skipped (the query is a
+    database point; any exact duplicate is a correct answer).
+    """
+    f = np.atleast_2d(found_d)[:, 0]
+    t = np.atleast_2d(true_d)[:, 0]
+    ok = t > 0
+    if not ok.any():
+        return 1.0
+    return float((f[ok] / t[ok]).mean())

@@ -1,0 +1,41 @@
+"""Metric layer: the distance functions every search structure is built on.
+
+See :mod:`repro.metrics.base` for the :class:`Metric` interface and
+:mod:`repro.metrics.registry` for name-based lookup.
+"""
+
+from .base import DistanceCounter, Metric, VectorMetric, check_metric_axioms
+from .edit import EditDistance, encode_strings
+from .graph import GraphMetric
+from .mahalanobis import Mahalanobis
+from .lp import (
+    Chebyshev,
+    Cosine,
+    Euclidean,
+    Hamming,
+    Manhattan,
+    Minkowski,
+    SqEuclidean,
+)
+from .registry import available_metrics, get_metric, register_metric
+
+__all__ = [
+    "DistanceCounter",
+    "Metric",
+    "VectorMetric",
+    "check_metric_axioms",
+    "EditDistance",
+    "encode_strings",
+    "GraphMetric",
+    "Euclidean",
+    "SqEuclidean",
+    "Mahalanobis",
+    "Manhattan",
+    "Chebyshev",
+    "Minkowski",
+    "Cosine",
+    "Hamming",
+    "available_metrics",
+    "get_metric",
+    "register_metric",
+]

@@ -1,0 +1,207 @@
+"""Metric abstraction used by every search structure in this package.
+
+The paper's algorithms are defined for arbitrary metric spaces: the only
+operations ever performed on data are distance evaluations ``rho(q, x)``.
+All structures in :mod:`repro.core` and :mod:`repro.baselines` are therefore
+written against the :class:`Metric` interface below, and the brute-force
+primitive (:mod:`repro.parallel.bruteforce`) is written against the *blocked
+pairwise* form, which is the matmul-like kernel the paper identifies as the
+unit of parallel work.
+
+Two performance-relevant facts shape this interface:
+
+* ``pairwise(Q, X)`` computes an ``(m, n)`` distance block in one vectorized
+  call.  This is the distance-computation step of ``BF(Q, X)`` and has the
+  computational structure of matrix-matrix multiply (paper §3).
+* Every evaluation is counted.  The paper's work bounds (Theorems 1 and 2)
+  are statements about the *number of distance evaluations*, so the counter
+  is the measurement instrument for the theory experiments, independent of
+  wall-clock noise.
+"""
+
+from __future__ import annotations
+
+import threading
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["DistanceCounter", "Metric", "VectorMetric", "check_metric_axioms"]
+
+
+class DistanceCounter:
+    """Tally of distance evaluations and the floating point work they imply.
+
+    ``n_evals`` counts scalar distance evaluations (one per (q, x) pair);
+    ``n_calls`` counts kernel invocations (one per pairwise block).  The
+    theory experiments (Theorems 1 and 2) are statements about ``n_evals``.
+    Updates are lock-protected: the thread executor runs pairwise blocks
+    concurrently and a lost update would corrupt the work measurements.
+    """
+
+    __slots__ = ("n_evals", "n_calls", "_lock")
+
+    def __init__(self, n_evals: int = 0, n_calls: int = 0) -> None:
+        self.n_evals = n_evals
+        self.n_calls = n_calls
+        self._lock = threading.Lock()
+
+    def add(self, n_evals: int) -> None:
+        with self._lock:
+            self.n_evals += int(n_evals)
+            self.n_calls += 1
+
+    def reset(self) -> None:
+        with self._lock:
+            self.n_evals = 0
+            self.n_calls = 0
+
+    def snapshot(self) -> "DistanceCounter":
+        return DistanceCounter(self.n_evals, self.n_calls)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DistanceCounter(n_evals={self.n_evals}, n_calls={self.n_calls})"
+
+
+class Metric(ABC):
+    """A metric ``rho`` over an indexable dataset.
+
+    Subclasses implement :meth:`_pairwise`; this base class handles counting
+    and argument checking.  Datasets are whatever the concrete metric
+    understands: ``(n, d)`` float arrays for vector metrics, sequences of
+    strings for edit distance, node-id arrays for graph metrics.
+    """
+
+    #: short name used in registries and reports
+    name: str = "metric"
+    #: floating point ops per scalar distance evaluation in dimension d,
+    #: as a function of d; used by the simulator's cost model.
+    flops_per_eval_coeff: float = 3.0
+
+    def __init__(self) -> None:
+        self.counter = DistanceCounter()
+
+    # ------------------------------------------------------------------ api
+    def pairwise(self, Q, X) -> np.ndarray:
+        """Return the ``(len(Q), len(X))`` matrix of distances.
+
+        This is the distance-computation step of the brute force primitive.
+        """
+        D = self._pairwise(Q, X)
+        self.counter.add(D.size)
+        return D
+
+    def distance(self, q, x) -> float:
+        """Distance between two single points."""
+        return float(self.pairwise(self._as_batch(q), self._as_batch(x))[0, 0])
+
+    def flops_per_eval(self, dim: int) -> float:
+        """Model FLOPs for one evaluation at the given ambient dimension."""
+        return self.flops_per_eval_coeff * max(int(dim), 1)
+
+    def reset_counter(self) -> None:
+        self.counter.reset()
+
+    # ------------------------------------------------------ subclass hooks
+    @abstractmethod
+    def _pairwise(self, Q, X) -> np.ndarray:
+        """Compute the distance block without counting."""
+
+    def _as_batch(self, x):
+        """Wrap a single point as a length-1 batch (overridable)."""
+        x = np.asarray(x)
+        if x.ndim == 1:
+            return x[None, :]
+        return x
+
+    def length(self, X) -> int:
+        """Number of points in a dataset as seen by this metric."""
+        return len(X)
+
+    def take(self, X, idx):
+        """Subset a dataset by integer indices (``X[L]`` in the paper)."""
+        idx = np.asarray(idx, dtype=np.intp)
+        if isinstance(X, np.ndarray):
+            return X[idx]
+        return [X[i] for i in idx]
+
+    def dim(self, X) -> int:
+        """Ambient dimension used for the FLOP model (1 for non-vector data)."""
+        X = np.asarray(X) if not isinstance(X, np.ndarray) else X
+        if getattr(X, "ndim", 1) >= 2:
+            return int(X.shape[1])
+        return 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class VectorMetric(Metric):
+    """Base for metrics over ``(n, d)`` float arrays with input validation."""
+
+    def pairwise(self, Q, X) -> np.ndarray:
+        Q = np.ascontiguousarray(np.atleast_2d(np.asarray(Q, dtype=np.float64)))
+        X = np.ascontiguousarray(np.atleast_2d(np.asarray(X, dtype=np.float64)))
+        if Q.shape[1] != X.shape[1]:
+            raise ValueError(
+                f"dimension mismatch: queries have d={Q.shape[1]}, "
+                f"database has d={X.shape[1]}"
+            )
+        return super().pairwise(Q, X)
+
+    def validate(self, X) -> None:
+        """Reject non-finite data.
+
+        NaN/inf coordinates silently corrupt every downstream comparison
+        (NaN distances compare false everywhere, so pruning rules would
+        discard valid answers); index builds call this once up front.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        if not np.isfinite(X).all():
+            bad = int(np.count_nonzero(~np.isfinite(X).all(axis=-1)))
+            raise ValueError(
+                f"data contains non-finite values in {bad} point(s); "
+                "clean the input before indexing"
+            )
+
+
+def check_metric_axioms(
+    metric: Metric,
+    X,
+    *,
+    n_triples: int = 200,
+    rng: np.random.Generator | None = None,
+    rtol: float = 1e-9,
+    atol: float = 1e-6,
+) -> None:
+    """Spot-check metric axioms on random triples from ``X``.
+
+    Raises ``AssertionError`` on the first violated axiom.  Used by tests and
+    available to users validating custom metrics before building an RBC (the
+    correctness of the exact search's pruning rules depends on the triangle
+    inequality).
+    """
+    rng = rng or np.random.default_rng(0)
+    n = metric.length(X)
+    if n < 3:
+        raise ValueError("need at least 3 points to check axioms")
+    for _ in range(n_triples):
+        i, j, k = rng.choice(n, size=3, replace=False)
+        xi = metric.take(X, [i])
+        xj = metric.take(X, [j])
+        xk = metric.take(X, [k])
+        dij = metric.pairwise(xi, xj)[0, 0]
+        dji = metric.pairwise(xj, xi)[0, 0]
+        dik = metric.pairwise(xi, xk)[0, 0]
+        djk = metric.pairwise(xj, xk)[0, 0]
+        dii = metric.pairwise(xi, xi)[0, 0]
+        assert dij >= 0.0, f"negativity violated: d={dij}"
+        assert abs(dii) <= atol, f"identity violated: d(x,x)={dii}"
+        assert np.isclose(dij, dji, rtol=rtol, atol=atol), (
+            f"symmetry violated: {dij} vs {dji}"
+        )
+        slack = rtol * max(dij, 1.0) + atol
+        assert dij <= dik + djk + slack, (
+            f"triangle inequality violated: d(i,j)={dij} > "
+            f"d(i,k)+d(k,j)={dik + djk}"
+        )

@@ -1,0 +1,65 @@
+"""Name-based metric registry.
+
+Lets the public API accept ``metric="euclidean"`` style arguments while the
+internals work against :class:`~repro.metrics.base.Metric` instances.  Each
+``get_metric`` call returns a *fresh* instance so distance-evaluation
+counters are never shared across structures.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from .base import Metric
+from .edit import EditDistance
+from .lp import Chebyshev, Cosine, Euclidean, Hamming, Manhattan, Minkowski, SqEuclidean
+
+__all__ = ["get_metric", "register_metric", "available_metrics"]
+
+_REGISTRY: dict[str, Callable[[], Metric]] = {
+    "euclidean": Euclidean,
+    "l2": Euclidean,
+    "sqeuclidean": SqEuclidean,
+    "manhattan": Manhattan,
+    "l1": Manhattan,
+    "cityblock": Manhattan,
+    "chebyshev": Chebyshev,
+    "linf": Chebyshev,
+    "angular": Cosine,
+    "cosine": Cosine,
+    "hamming": Hamming,
+    "levenshtein": EditDistance,
+    "edit": EditDistance,
+    "minkowski": Minkowski,
+}
+
+
+def register_metric(name: str, factory: Callable[[], Metric]) -> None:
+    """Register a zero-argument metric factory under ``name``."""
+    key = name.lower()
+    if key in _REGISTRY:
+        raise ValueError(f"metric name already registered: {name!r}")
+    _REGISTRY[key] = factory
+
+
+def available_metrics() -> list[str]:
+    """Sorted list of registered metric names."""
+    return sorted(_REGISTRY)
+
+
+def get_metric(metric: str | Metric, **kwargs) -> Metric:
+    """Resolve a metric name or pass through an existing instance.
+
+    ``kwargs`` are forwarded to the factory (e.g. ``p=`` for minkowski).
+    """
+    if isinstance(metric, Metric):
+        if kwargs:
+            raise ValueError("kwargs are only valid with a metric name")
+        return metric
+    try:
+        factory = _REGISTRY[metric.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown metric {metric!r}; available: {', '.join(available_metrics())}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,76 @@
+"""Block decomposition of pairwise-distance computations.
+
+The distance step of ``BF(Q, X)`` is an ``(m, n)`` dense computation with
+the structure of matrix-matrix multiply (paper §3), so the standard block
+decomposition applies: the output is cut into tiles, each tile is an
+independent unit of work, and tiles are distributed over workers.  The tile
+shape bounds the temporary working set (a cache-locality concern — see the
+"beware of cache effects" guidance this repo follows) and sets the
+parallelism grain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Tile", "grid_tiles", "row_chunks", "choose_tile_cols"]
+
+
+@dataclass(frozen=True)
+class Tile:
+    """A rectangular block ``[row_lo:row_hi) x [col_lo:col_hi)`` of the
+    pairwise-distance output."""
+
+    row_lo: int
+    row_hi: int
+    col_lo: int
+    col_hi: int
+
+    @property
+    def rows(self) -> int:
+        return self.row_hi - self.row_lo
+
+    @property
+    def cols(self) -> int:
+        return self.col_hi - self.col_lo
+
+    @property
+    def size(self) -> int:
+        return self.rows * self.cols
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.row_lo < self.row_hi and 0 <= self.col_lo < self.col_hi):
+            raise ValueError(f"degenerate tile {self!r}")
+
+
+def row_chunks(m: int, chunk: int) -> list[tuple[int, int]]:
+    """Split ``range(m)`` into ``[lo, hi)`` chunks of at most ``chunk`` rows."""
+    if chunk < 1:
+        raise ValueError("chunk must be >= 1")
+    return [(lo, min(lo + chunk, m)) for lo in range(0, m, chunk)]
+
+
+def grid_tiles(m: int, n: int, tile_rows: int, tile_cols: int) -> list[Tile]:
+    """Regular 2-D tiling of an ``(m, n)`` output."""
+    if m < 1 or n < 1:
+        return []
+    out = []
+    for rlo, rhi in row_chunks(m, tile_rows):
+        for clo, chi in row_chunks(n, tile_cols):
+            out.append(Tile(rlo, rhi, clo, chi))
+    return out
+
+
+def choose_tile_cols(
+    n: int, dim: int, *, target_bytes: int = 8 << 20, min_cols: int = 256
+) -> int:
+    """Pick a column-tile width so a tile's operands fit in ~``target_bytes``.
+
+    The distance kernel touches ``tile_cols * dim`` database floats plus the
+    ``rows * tile_cols`` output block; sizing for the database slab keeps the
+    kernel within last-level cache for realistic dims.
+    """
+    if n < 1:
+        return min_cols
+    cols = target_bytes // (8 * max(dim, 1))
+    return int(min(n, max(min_cols, cols)))

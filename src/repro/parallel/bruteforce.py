@@ -1,0 +1,325 @@
+"""The brute-force primitive ``BF(Q, X[L])`` (paper §3).
+
+Everything in this package — RBC build, one-shot search, exact search — is
+structured as calls to this primitive, because its two steps parallelize
+like dense linear algebra:
+
+1. **distance step** — all pairwise distances, computed tile-by-tile with
+   the block decomposition of :mod:`repro.parallel.blocking` (matmul-like
+   structure);
+2. **comparison step** — per-query nearest (or k-nearest) selection, done as
+   per-tile top-k selections merged through the inverted-binary-tree reduce
+   of :mod:`repro.parallel.reduce`.
+
+Row chunks and tiles are mapped over an :class:`~repro.parallel.pool.Executor`,
+and every tile/merge is optionally recorded into a
+:class:`~repro.simulator.trace.TraceRecorder` so the machine models can
+replay the exact work performed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..metrics import get_metric
+from ..metrics.base import Metric
+from ..simulator.trace import NULL_RECORDER, Op, TraceRecorder
+from .blocking import choose_tile_cols, row_chunks
+from .pool import Executor, SerialExecutor, SharedArray, get_executor
+from .reduce import EMPTY_IDX, merge_topk, topk_of_block, tree_reduce
+
+__all__ = ["bf_knn", "bf_nn", "bf_range", "bf_knn_processes"]
+
+#: queries per row chunk; chunks are the unit mapped over the executor
+_DEFAULT_ROW_CHUNK = 512
+
+
+#: rows per recorded sub-op: the schedulable grain of a distance tile.
+#: A dense tile is itself data-parallel (it is a GEMM), so the machine
+#: models see it as independent row-band ops; the database slab's memory
+#: traffic is amortized across the bands, which share it through the cache.
+_RECORD_SUB_ROWS = 32
+
+
+def _record_dist_tile(
+    recorder: TraceRecorder, metric: Metric, rows: int, cols: int, dim: int, tag: str
+) -> None:
+    if not recorder.enabled or rows <= 0 or cols <= 0:
+        return
+    fpe = metric.flops_per_eval(dim)
+    slab_bytes = 8.0 * cols * dim  # database slab, streamed once per tile
+    done = 0
+    while done < rows:
+        r = min(_RECORD_SUB_ROWS, rows - done)
+        recorder.record(
+            Op(
+                kind="gemm",
+                flops=r * cols * fpe,
+                bytes=8.0 * (r * dim + r * cols) + slab_bytes * (r / rows),
+                vectorizable=True,
+                tag=tag,
+            )
+        )
+        done += r
+
+
+def _record_select(recorder: TraceRecorder, rows: int, cols: int, tag: str) -> None:
+    recorder.record(
+        Op(
+            kind="reduce",
+            flops=float(rows * cols),
+            bytes=8.0 * rows * cols,
+            vectorizable=True,
+            tag=tag,
+        )
+    )
+
+
+def _knn_one_chunk(
+    metric: Metric,
+    Qc,
+    X,
+    k: int,
+    tile_cols: int,
+    recorder: TraceRecorder,
+    dim: int,
+    tag: str,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Top-k for one row chunk of queries: tiles then tree-merge."""
+    n = metric.length(X)
+    m = metric.length(Qc)
+    candidates = []
+    with recorder.phase(f"{tag}:dist+select"):
+        for lo, hi in row_chunks(n, tile_cols):
+            Xt = metric.take(X, np.arange(lo, hi)) if (lo, hi) != (0, n) else X
+            D = metric.pairwise(Qc, Xt)
+            _record_dist_tile(recorder, metric, m, hi - lo, dim, tag)
+            candidates.append(topk_of_block(D, k, col_offset=lo))
+            _record_select(recorder, m, hi - lo, tag)
+    if len(candidates) == 1:
+        return candidates[0]
+    with recorder.phase(f"{tag}:merge"):
+
+        def merge(a, b):
+            recorder.record(
+                Op(
+                    kind="reduce",
+                    flops=4.0 * m * k,
+                    bytes=8.0 * 4 * m * k,
+                    vectorizable=True,
+                    tag=f"{tag}:merge",
+                )
+            )
+            return merge_topk(a, b)
+
+        return tree_reduce(candidates, merge)
+
+
+def bf_knn(
+    Q,
+    X,
+    metric: str | Metric = "euclidean",
+    k: int = 1,
+    *,
+    ids: np.ndarray | None = None,
+    executor: str | Executor | None = None,
+    tile_cols: int | None = None,
+    row_chunk: int = _DEFAULT_ROW_CHUNK,
+    recorder: TraceRecorder = NULL_RECORDER,
+) -> tuple[np.ndarray, np.ndarray]:
+    """k nearest neighbors of each query by exhaustive search.
+
+    Parameters
+    ----------
+    Q, X:
+        query set and database, in whatever form ``metric`` understands
+        (``(m, d)`` / ``(n, d)`` arrays for vector metrics).
+    metric:
+        metric name or instance.
+    k:
+        neighbors per query.
+    ids:
+        optional integer id list ``L``; restricts the search to ``X[L]``
+        (the paper's ``BF(Q, X[L])``) and reports *global* indices into X.
+    executor:
+        ``None``/``"serial"``, ``"threads"``, ``"processes"`` or an
+        :class:`Executor`; row chunks are mapped over it.
+    tile_cols:
+        database columns per tile (auto-sized to ~8 MB of operands if None).
+    recorder:
+        trace recorder for the machine models.
+
+    Returns
+    -------
+    (dist, idx):
+        ``(m, k)`` arrays, rows sorted ascending.  When fewer than ``k``
+        points are available, trailing slots hold ``inf`` / ``-1``.
+    """
+    metric = get_metric(metric)
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    Qb = Q if _is_batch(metric, Q) else metric._as_batch(Q)
+    m = metric.length(Qb)
+    if ids is not None:
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.size == 0:
+            return (
+                np.full((m, k), np.inf),
+                np.full((m, k), EMPTY_IDX, dtype=np.int64),
+            )
+        X = metric.take(X, ids)
+    n = metric.length(X)
+    if n == 0:
+        raise ValueError("database is empty")
+    dim = metric.dim(X)
+    tile_cols = tile_cols or choose_tile_cols(n, dim)
+    exec_ = get_executor(executor)
+    owns_exec = executor is None or isinstance(executor, str)
+
+    chunks = row_chunks(m, row_chunk)
+
+    def task(chunk):
+        lo, hi = chunk
+        Qc = metric.take(Qb, np.arange(lo, hi)) if (lo, hi) != (0, m) else Qb
+        return _knn_one_chunk(metric, Qc, X, k, tile_cols, recorder, dim, "bf")
+
+    try:
+        if len(chunks) == 1 or isinstance(exec_, SerialExecutor):
+            parts = [task(c) for c in chunks]
+        else:
+            parts = exec_.map(task, chunks)
+    finally:
+        if owns_exec:
+            exec_.close()
+
+    dist = np.concatenate([p[0] for p in parts], axis=0)
+    idx = np.concatenate([p[1] for p in parts], axis=0)
+    if ids is not None:
+        mask = idx >= 0
+        idx[mask] = ids[idx[mask]]
+    return dist, idx
+
+
+def _is_batch(metric: Metric, Q) -> bool:
+    """Heuristic: is Q already a batch (vs a single point)?"""
+    if isinstance(Q, np.ndarray):
+        return Q.ndim >= 2 or not np.issubdtype(Q.dtype, np.floating)
+    if isinstance(Q, str):
+        return False
+    return True
+
+
+def bf_nn(
+    Q, X, metric: str | Metric = "euclidean", **kwargs
+) -> tuple[np.ndarray, np.ndarray]:
+    """1-NN convenience wrapper: returns ``(m,)`` distance and index arrays."""
+    dist, idx = bf_knn(Q, X, metric, k=1, **kwargs)
+    return dist[:, 0], idx[:, 0]
+
+
+def bf_range(
+    Q,
+    X,
+    eps: float,
+    metric: str | Metric = "euclidean",
+    *,
+    ids: np.ndarray | None = None,
+    tile_cols: int | None = None,
+    recorder: TraceRecorder = NULL_RECORDER,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """ε-range search: all database points within distance ``eps`` of each
+    query.  Returns, per query, ``(dist, idx)`` sorted by distance."""
+    metric = get_metric(metric)
+    if eps < 0:
+        raise ValueError("eps must be non-negative")
+    if ids is not None:
+        ids = np.asarray(ids, dtype=np.int64)
+        X = metric.take(X, ids)
+    n = metric.length(X)
+    dim = metric.dim(X)
+    tile_cols = tile_cols or choose_tile_cols(n, dim)
+    Qb = Q if _is_batch(metric, Q) else metric._as_batch(Q)
+    m = metric.length(Qb)
+
+    hits_d: list[list[np.ndarray]] = [[] for _ in range(m)]
+    hits_i: list[list[np.ndarray]] = [[] for _ in range(m)]
+    with recorder.phase("bf-range:dist"):
+        for lo, hi in row_chunks(n, tile_cols):
+            Xt = metric.take(X, np.arange(lo, hi)) if (lo, hi) != (0, n) else X
+            D = metric.pairwise(Qb, Xt)
+            _record_dist_tile(recorder, metric, m, hi - lo, dim, "bf-range")
+            rows, cols = np.nonzero(D <= eps)
+            for r in np.unique(rows):
+                sel = cols[rows == r]
+                hits_d[r].append(D[r, sel])
+                hits_i[r].append(sel + lo)
+
+    out = []
+    for r in range(m):
+        if hits_d[r]:
+            d = np.concatenate(hits_d[r])
+            i = np.concatenate(hits_i[r]).astype(np.int64)
+            order = np.argsort(d, kind="stable")
+            d, i = d[order], i[order]
+        else:
+            d = np.empty(0)
+            i = np.empty(0, dtype=np.int64)
+        if ids is not None:
+            i = ids[i]
+        out.append((d, i))
+    return out
+
+
+# --------------------------------------------------------------- processes
+def _proc_chunk_knn(args) -> tuple[int, np.ndarray, np.ndarray]:
+    """Process-pool worker: top-k for one row chunk from shared memory."""
+    qh, xh, lo, hi, metric_name, k, tile_cols = args
+    Q = qh.open()
+    X = xh.open()
+    metric = get_metric(metric_name)
+    dist, idx = _knn_one_chunk(
+        metric, Q[lo:hi], X, k, tile_cols, NULL_RECORDER, X.shape[1], "bf"
+    )
+    qh.close()
+    xh.close()
+    return lo, dist, idx
+
+
+def bf_knn_processes(
+    Q: np.ndarray,
+    X: np.ndarray,
+    metric: str = "euclidean",
+    k: int = 1,
+    *,
+    n_workers: int | None = None,
+    row_chunk: int = _DEFAULT_ROW_CHUNK,
+    tile_cols: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Process-parallel ``bf_knn`` for vector metrics.
+
+    Operands are placed in POSIX shared memory once; workers attach by name,
+    so per-task pickling cost is O(1) regardless of data size.  Distance
+    evaluations happen in worker processes and are *not* reflected in the
+    parent's metric counters.
+    """
+    if not isinstance(metric, str):
+        raise TypeError("process backend needs a registry metric name")
+    Q = np.ascontiguousarray(np.atleast_2d(np.asarray(Q, dtype=np.float64)))
+    X = np.ascontiguousarray(np.atleast_2d(np.asarray(X, dtype=np.float64)))
+    tile_cols = tile_cols or choose_tile_cols(X.shape[0], X.shape[1])
+    qh = SharedArray.from_array(Q)
+    xh = SharedArray.from_array(X)
+    try:
+        tasks = [
+            (qh, xh, lo, hi, metric, k, tile_cols)
+            for lo, hi in row_chunks(Q.shape[0], row_chunk)
+        ]
+        with get_executor("processes", n_workers) as ex:
+            parts = ex.map(_proc_chunk_knn, tasks)
+    finally:
+        qh.unlink()
+        xh.unlink()
+    parts.sort(key=lambda t: t[0])
+    dist = np.concatenate([p[1] for p in parts], axis=0)
+    idx = np.concatenate([p[2] for p in parts], axis=0)
+    return dist, idx

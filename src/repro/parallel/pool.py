@@ -1,0 +1,171 @@
+"""Execution backends: serial, threaded, and shared-memory process pools.
+
+The brute-force primitive maps independent row/tile tasks over one of these
+executors.  Three backends are provided because the right one is
+platform-dependent:
+
+* :class:`SerialExecutor` — deterministic reference; also fastest for small
+  inputs where pool dispatch dominates.
+* :class:`ThreadExecutor` — NumPy's kernels (BLAS GEMM, ufunc loops) release
+  the GIL, so the dense distance tiles genuinely run concurrently under
+  threads; this is the analogue of the paper's OpenMP CPU implementation.
+* :class:`ProcessExecutor` — full process parallelism for workloads with
+  Python-level inner loops (e.g. the edit-distance kernel); large operands
+  should be passed through :class:`SharedArray` to avoid per-task pickling.
+
+All executors share a two-method protocol (``map``, ``close``) plus a
+``n_workers`` attribute, so algorithms are backend-agnostic.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "SharedArray",
+    "get_executor",
+    "default_workers",
+]
+
+
+def default_workers() -> int:
+    """Worker count used when none is given (all visible CPUs)."""
+    return max(os.cpu_count() or 1, 1)
+
+
+class Executor:
+    """Minimal executor protocol; subclasses run ``map`` their own way."""
+
+    n_workers: int = 1
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - default no-op
+        pass
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """Run tasks inline, in order.  The reference backend."""
+
+    n_workers = 1
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        return [fn(item) for item in items]
+
+
+class ThreadExecutor(Executor):
+    """Thread-pool backend; effective for GIL-releasing NumPy kernels."""
+
+    def __init__(self, n_workers: int | None = None) -> None:
+        self.n_workers = n_workers or default_workers()
+        self._pool = ThreadPoolExecutor(max_workers=self.n_workers)
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        return list(self._pool.map(fn, items))
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+class ProcessExecutor(Executor):
+    """Process-pool backend for Python-level-parallel workloads.
+
+    ``fn`` and each item must be picklable; use :class:`SharedArray` to pass
+    large read-only arrays by name rather than by value.
+    """
+
+    def __init__(self, n_workers: int | None = None) -> None:
+        self.n_workers = n_workers or default_workers()
+        self._pool = ProcessPoolExecutor(max_workers=self.n_workers)
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        return list(self._pool.map(fn, items))
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+@dataclass
+class SharedArray:
+    """A NumPy array backed by POSIX shared memory, addressable by name.
+
+    The creating process calls :meth:`from_array` and eventually
+    :meth:`unlink`; workers call :meth:`open` with the (picklable) handle
+    and see the same pages with zero copies.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+    _shm: shared_memory.SharedMemory | None = None
+
+    @classmethod
+    def from_array(cls, arr: np.ndarray) -> "SharedArray":
+        arr = np.ascontiguousarray(arr)
+        shm = shared_memory.SharedMemory(create=True, size=max(arr.nbytes, 1))
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+        view[...] = arr
+        out = cls(name=shm.name, shape=tuple(arr.shape), dtype=str(arr.dtype))
+        out._shm = shm
+        return out
+
+    def open(self) -> np.ndarray:
+        """Attach and return a read-write view (workers treat it read-only)."""
+        if self._shm is None:
+            self._shm = shared_memory.SharedMemory(name=self.name)
+        return np.ndarray(self.shape, dtype=self.dtype, buffer=self._shm.buf)
+
+    def close(self) -> None:
+        if self._shm is not None:
+            self._shm.close()
+            self._shm = None
+
+    def unlink(self) -> None:
+        """Release the segment (creator-side cleanup)."""
+        shm = self._shm or shared_memory.SharedMemory(name=self.name)
+        shm.close()
+        shm.unlink()
+        self._shm = None
+
+    def __getstate__(self):
+        return {"name": self.name, "shape": self.shape, "dtype": self.dtype}
+
+    def __setstate__(self, state):
+        self.name = state["name"]
+        self.shape = state["shape"]
+        self.dtype = state["dtype"]
+        self._shm = None
+
+
+def get_executor(
+    executor: str | Executor | None, n_workers: int | None = None
+) -> Executor:
+    """Resolve an executor spec: ``None`` / ``"serial"`` / ``"threads"`` /
+    ``"processes"`` or an existing instance (passed through)."""
+    if executor is None or executor == "serial":
+        return SerialExecutor()
+    if isinstance(executor, Executor):
+        return executor
+    if executor == "threads":
+        return ThreadExecutor(n_workers)
+    if executor == "processes":
+        return ProcessExecutor(n_workers)
+    raise ValueError(f"unknown executor {executor!r}")

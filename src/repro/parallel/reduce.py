@@ -1,0 +1,127 @@
+"""Parallel-reduce building blocks for the comparison step of ``BF``.
+
+The second step of the brute-force primitive compares distances and keeps
+the nearest element(s); the paper plugs it into "the standard parallel-
+reduce paradigm where comparisons are made according to an inverted binary
+tree" (§3).  :func:`tree_reduce` implements exactly that shape — pairwise
+merge rounds, each round's merges independent — and :func:`merge_topk` is
+the associative merge operation on ``(distances, indices)`` candidate sets.
+
+Candidate sets are padded with ``+inf`` distance / ``-1`` index so that
+merging lists of uneven length is total; padding never displaces a real
+candidate because real distances are finite.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import TypeVar
+
+import numpy as np
+
+__all__ = ["tree_reduce", "merge_topk", "topk_of_block", "dedupe_rows", "EMPTY_IDX"]
+
+T = TypeVar("T")
+
+#: index used for padding slots that hold no candidate
+EMPTY_IDX = -1
+
+
+def tree_reduce(
+    items: Sequence[T],
+    merge: Callable[[T, T], T],
+    *,
+    executor=None,
+) -> T:
+    """Reduce ``items`` with an inverted binary tree of ``merge`` calls.
+
+    With an executor, each round's merges are submitted concurrently; the
+    number of rounds is ``ceil(log2(len(items)))``.  ``merge`` must be
+    associative (commutativity is not required: operand order is preserved).
+    """
+    if len(items) == 0:
+        raise ValueError("cannot reduce zero items")
+    level = list(items)
+    while len(level) > 1:
+        pairs = [(level[i], level[i + 1]) for i in range(0, len(level) - 1, 2)]
+        carry = [level[-1]] if len(level) % 2 else []
+        if executor is not None and len(pairs) > 1:
+            merged = list(executor.map(lambda ab: merge(ab[0], ab[1]), pairs))
+        else:
+            merged = [merge(a, b) for a, b in pairs]
+        level = merged + carry
+    return level[0]
+
+
+def topk_of_block(
+    D: np.ndarray, k: int, col_offset: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row k smallest entries of a distance block.
+
+    Returns ``(dist, idx)`` of shape ``(m, k)``, sorted ascending per row,
+    padded with ``inf``/``EMPTY_IDX`` when the block has fewer than ``k``
+    columns.  ``col_offset`` shifts returned indices into the caller's
+    global column numbering.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    m, n = D.shape
+    kk = min(k, n)
+    if kk < n:
+        part = np.argpartition(D, kk - 1, axis=1)[:, :kk]
+    else:
+        part = np.broadcast_to(np.arange(n), (m, n)).copy()
+    pd = np.take_along_axis(D, part, axis=1)
+    order = np.argsort(pd, axis=1, kind="stable")
+    idx = np.take_along_axis(part, order, axis=1) + col_offset
+    dist = np.take_along_axis(pd, order, axis=1)
+    if kk < k:
+        dist = np.pad(dist, ((0, 0), (0, k - kk)), constant_values=np.inf)
+        idx = np.pad(idx, ((0, 0), (0, k - kk)), constant_values=EMPTY_IDX)
+    return dist, idx.astype(np.int64, copy=False)
+
+
+def merge_topk(
+    a: tuple[np.ndarray, np.ndarray], b: tuple[np.ndarray, np.ndarray]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Associative merge of two ``(dist, idx)`` candidate sets.
+
+    Both operands have shape ``(m, k)`` with rows sorted ascending; the
+    result keeps the ``k`` overall-smallest per row, sorted.  This is the
+    merge node of the inverted binary tree.
+    """
+    da, ia = a
+    db, ib = b
+    if da.shape != db.shape:
+        raise ValueError(f"shape mismatch {da.shape} vs {db.shape}")
+    k = da.shape[1]
+    D = np.concatenate([da, db], axis=1)
+    I = np.concatenate([ia, ib], axis=1)
+    order = np.argsort(D, axis=1, kind="stable")[:, :k]
+    return np.take_along_axis(D, order, axis=1), np.take_along_axis(I, order, axis=1)
+
+
+def dedupe_rows(
+    d: np.ndarray, i: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Drop duplicate indices per sorted candidate row, keeping the nearest.
+
+    Needed when candidate sources overlap (one-shot multi-probe lists, or
+    exact search's representative seeds vs ownership lists); freed slots
+    are refilled with ``inf``/``EMPTY_IDX`` padding at the row tail.
+    """
+    out_d = np.full((d.shape[0], k), np.inf)
+    out_i = np.full((i.shape[0], k), EMPTY_IDX, dtype=i.dtype)
+    for r in range(d.shape[0]):
+        seen: set[int] = set()
+        c = 0
+        for dist, idx in zip(d[r], i[r]):
+            if idx == EMPTY_IDX or int(idx) in seen:
+                continue
+            seen.add(int(idx))
+            out_d[r, c] = dist
+            out_i[r, c] = idx
+            c += 1
+            if c == k:
+                break
+    return out_d, out_i

@@ -1,0 +1,57 @@
+"""Work-distribution policies for tiles and chunks.
+
+The machine-model experiments need the *assignment* of work to workers, not
+just the work list, so these schedulers are pure functions from task costs
+to per-worker assignments.  Two classic policies are provided:
+
+* :func:`static_assign` — contiguous equal-count split, the OpenMP
+  ``schedule(static)`` analogue; zero scheduling overhead, suffers from
+  imbalance when task costs vary (the exact-search second stage has
+  query-dependent candidate-list sizes, making this the interesting case).
+* :func:`lpt_assign` — longest-processing-time list scheduling, the
+  idealized dynamic/work-stealing analogue (4/3-approximate makespan).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import heapq
+
+__all__ = ["static_assign", "lpt_assign", "makespan"]
+
+
+def static_assign(n_tasks: int, n_workers: int) -> list[list[int]]:
+    """Contiguous near-equal split of task ids over workers."""
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    base, extra = divmod(n_tasks, n_workers)
+    out: list[list[int]] = []
+    start = 0
+    for w in range(n_workers):
+        count = base + (1 if w < extra else 0)
+        out.append(list(range(start, start + count)))
+        start += count
+    return out
+
+
+def lpt_assign(costs: Sequence[float], n_workers: int) -> list[list[int]]:
+    """Longest-processing-time-first assignment by task cost."""
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    order = sorted(range(len(costs)), key=lambda i: -costs[i])
+    heap = [(0.0, w) for w in range(n_workers)]
+    heapq.heapify(heap)
+    out: list[list[int]] = [[] for _ in range(n_workers)]
+    for i in order:
+        load, w = heapq.heappop(heap)
+        out[w].append(i)
+        heapq.heappush(heap, (load + float(costs[i]), w))
+    return out
+
+
+def makespan(assignment: list[list[int]], costs: Sequence[float]) -> float:
+    """Completion time of an assignment: the max per-worker cost sum."""
+    if not assignment:
+        return 0.0
+    return max(sum(float(costs[i]) for i in tasks) for tasks in assignment)

@@ -1,0 +1,40 @@
+"""Manycore machine models and the operation-trace mechanism.
+
+This package substitutes for the paper's physical testbed (48-core server,
+quad-core desktop, Tesla c2050); see DESIGN.md §1 for the substitution
+argument.  Algorithms record the operations they really perform into a
+:class:`~repro.simulator.trace.Trace`; :func:`~repro.simulator.machine.simulate`
+replays a trace on a parameterized :class:`~repro.simulator.machine.MachineSpec`.
+"""
+
+from .analysis import speedup, strong_scaling, with_cores
+from .machine import (
+    AMD_48CORE,
+    DESKTOP_QUAD,
+    SEQUENTIAL,
+    TESLA_C2050,
+    GpuSpec,
+    MachineSpec,
+    SimResult,
+    simulate,
+)
+from .trace import NULL_RECORDER, Op, Phase, Trace, TraceRecorder
+
+__all__ = [
+    "speedup",
+    "strong_scaling",
+    "with_cores",
+    "AMD_48CORE",
+    "DESKTOP_QUAD",
+    "SEQUENTIAL",
+    "TESLA_C2050",
+    "GpuSpec",
+    "MachineSpec",
+    "SimResult",
+    "simulate",
+    "NULL_RECORDER",
+    "Op",
+    "Phase",
+    "Trace",
+    "TraceRecorder",
+]

@@ -1,0 +1,36 @@
+"""Analysis helpers over machine models: scaling curves and comparisons."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from .machine import MachineSpec, SimResult, simulate
+from .trace import Trace
+
+__all__ = ["with_cores", "strong_scaling", "speedup"]
+
+
+def with_cores(machine: MachineSpec, cores: int) -> MachineSpec:
+    """A copy of ``machine`` with a different core count.
+
+    Memory bandwidth is held fixed (it is a property of the socket/board,
+    not of the core count), so bandwidth-bound phases stop scaling — the
+    realistic strong-scaling limiter.
+    """
+    if isinstance(machine, type(machine)) and hasattr(machine, "sms"):
+        return replace(machine, cores=cores, sms=cores)
+    return replace(machine, cores=cores)
+
+
+def strong_scaling(
+    trace: Trace, machine: MachineSpec, core_counts: list[int]
+) -> list[tuple[int, SimResult]]:
+    """Simulate the same trace across core counts (strong scaling)."""
+    return [(c, simulate(trace, with_cores(machine, c))) for c in core_counts]
+
+
+def speedup(baseline: SimResult, contender: SimResult) -> float:
+    """How many times faster ``contender`` is than ``baseline``."""
+    if contender.time_s <= 0:
+        raise ValueError("contender time must be positive")
+    return baseline.time_s / contender.time_s

@@ -1,0 +1,259 @@
+"""Parameterized machine models: multicore CPUs and SIMT (GPU-like) devices.
+
+These models stand in for the paper's testbed hardware (48-core AMD 6176SE
+server, quad-core Core i5 desktop, NVIDIA Tesla c2050) — see DESIGN.md §1.
+A model consumes an operation :class:`~repro.simulator.trace.Trace` and
+reports how long the trace would take, using:
+
+* a **roofline** per-op time: ``max(compute_time, memory_time)``, where the
+  compute rate depends on whether the op is vectorizable (SIMD lanes) and,
+  on SIMT devices, on branch divergence (divergent lanes serialize);
+* **LPT list scheduling** of each phase's independent ops onto workers
+  (cores / streaming multiprocessors), so load imbalance and the serial
+  fraction of a trace show up as lost scaling, exactly the effect the paper
+  is designing around;
+* a fixed per-phase **synchronization overhead** (barrier / kernel-launch).
+
+Numbers for the presets are taken from the published specs of the paper's
+hardware; absolute times are not expected to match the paper's testbed, but
+ratios between algorithms on the same model — every figure in the paper is
+such a ratio — depend only on trace structure.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from .trace import Op, Phase, Trace
+
+__all__ = [
+    "MachineSpec",
+    "GpuSpec",
+    "SimResult",
+    "simulate",
+    "AMD_48CORE",
+    "DESKTOP_QUAD",
+    "SEQUENTIAL",
+    "TESLA_C2050",
+]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A homogeneous shared-memory multicore machine."""
+
+    name: str
+    cores: int = 4
+    simd_lanes: int = 2  # float64 lanes per vector unit
+    flops_per_cycle_per_lane: float = 2.0  # fused multiply-add
+    ghz: float = 2.3
+    mem_bandwidth_gbs: float = 20.0
+    scalar_ops_per_cycle: float = 1.0
+    sync_overhead_us: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError("cores must be >= 1")
+        if self.ghz <= 0 or self.mem_bandwidth_gbs <= 0:
+            raise ValueError("rates must be positive")
+
+    # ------------------------------------------------------------ rates
+    @property
+    def n_workers(self) -> int:
+        return self.cores
+
+    @property
+    def vector_flops_per_worker(self) -> float:
+        """Peak vector FLOP/s of one core."""
+        return self.simd_lanes * self.flops_per_cycle_per_lane * self.ghz * 1e9
+
+    @property
+    def scalar_flops_per_worker(self) -> float:
+        return self.scalar_ops_per_cycle * self.ghz * 1e9
+
+    @property
+    def peak_gflops(self) -> float:
+        return self.n_workers * self.vector_flops_per_worker / 1e9
+
+    def compute_time(self, op: Op) -> float:
+        """Pure compute time for one op on one worker, in seconds."""
+        rate = (
+            self.vector_flops_per_worker
+            if op.vectorizable
+            else self.scalar_flops_per_worker
+        )
+        return op.flops / rate
+
+    def op_time(self, op: Op) -> float:
+        """Roofline time for one op running alone on the machine.
+
+        Memory bandwidth is a socket-level resource: a single op may draw
+        the full bandwidth, while a phase of many ops saturates it
+        collectively (handled in :func:`simulate`).
+        """
+        memory = op.bytes / (self.mem_bandwidth_gbs * 1e9)
+        return max(self.compute_time(op), memory)
+
+
+@dataclass(frozen=True)
+class GpuSpec(MachineSpec):
+    """A SIMT throughput device (GPU).
+
+    Work is scheduled onto streaming multiprocessors; within an SM a warp of
+    lanes executes in lockstep, so an op with branch ``divergence`` f runs at
+    ``1 / (1 + f * (warp_size - 1))`` of peak — the architectural fact that
+    makes conditional tree search "inefficient" on GPUs (paper §3) and that
+    Table 2 exploits.
+    """
+
+    sms: int = 14
+    warp_size: int = 32
+    lanes_per_sm: int = 32
+    kernel_launch_us: float = 8.0
+
+    @property
+    def n_workers(self) -> int:
+        return self.sms
+
+    @property
+    def vector_flops_per_worker(self) -> float:
+        return self.lanes_per_sm * self.flops_per_cycle_per_lane * self.ghz * 1e9
+
+    @property
+    def scalar_flops_per_worker(self) -> float:
+        # a lone scalar thread occupies a full warp slot
+        return self.ghz * 1e9 / self.warp_size
+
+    def compute_time(self, op: Op) -> float:
+        t = super().compute_time(op)
+        if op.vectorizable and op.divergence > 0.0:
+            t *= 1.0 + op.divergence * (self.warp_size - 1)
+        return t
+
+
+@dataclass
+class SimResult:
+    """Outcome of replaying a trace on a machine model."""
+
+    machine: MachineSpec
+    time_s: float
+    phase_times: list[tuple[str, float]] = field(default_factory=list)
+    total_flops: float = 0.0
+    busy_time_s: float = 0.0
+
+    @property
+    def utilization(self) -> float:
+        """Mean fraction of workers kept busy (1.0 = perfect scaling)."""
+        denom = self.time_s * self.machine.n_workers
+        return self.busy_time_s / denom if denom > 0 else 0.0
+
+    @property
+    def achieved_gflops(self) -> float:
+        return self.total_flops / self.time_s / 1e9 if self.time_s > 0 else 0.0
+
+
+def _phase_makespan(phase: Phase, machine: MachineSpec) -> tuple[float, float]:
+    """(makespan, total busy time) of one phase.
+
+    Compute: ops sharing a chain id are data-dependent and fuse into one
+    sequential unit; the resulting independent units are LPT-scheduled
+    onto workers.  Memory: the phase's total bytes move at the socket
+    bandwidth; the phase cannot finish before the slower of the two — a
+    roofline at phase granularity, which lets a lone op use full bandwidth
+    while a parallel phase saturates it.
+    """
+    chained: dict[int, float] = {}
+    singles: list[float] = []
+    for op in phase.ops:
+        t = machine.compute_time(op)
+        if op.chain is None:
+            singles.append(t)
+        else:
+            chained[op.chain] = chained.get(op.chain, 0.0) + t
+    times = sorted(singles + list(chained.values()), reverse=True)
+    busy = sum(times)
+    w = machine.n_workers
+    if not times:
+        return 0.0, 0.0
+    if len(times) == 1 or w == 1:
+        span = busy
+    else:
+        heap = [0.0] * min(w, len(times))
+        for t in times:
+            heapq.heapreplace(heap, heap[0] + t)
+        span = max(heap)
+    memory = phase.bytes / (machine.mem_bandwidth_gbs * 1e9)
+    return max(span, memory), busy
+
+
+def simulate(trace: Trace, machine: MachineSpec) -> SimResult:
+    """Replay ``trace`` on ``machine`` and return the modeled runtime."""
+    sync = machine.sync_overhead_us * 1e-6
+    if isinstance(machine, GpuSpec):
+        sync += machine.kernel_launch_us * 1e-6
+    total = 0.0
+    busy = 0.0
+    phase_times: list[tuple[str, float]] = []
+    for phase in trace.phases:
+        span, b = _phase_makespan(phase, machine)
+        span += sync
+        phase_times.append((phase.name, span))
+        total += span
+        busy += b
+    return SimResult(
+        machine=machine,
+        time_s=total,
+        phase_times=phase_times,
+        total_flops=trace.flops,
+        busy_time_s=busy,
+    )
+
+
+# ----------------------------------------------------------------- presets
+#: the paper's 48-core AMD Opteron 6176SE server (4 chips x 12 cores, SSE)
+AMD_48CORE = MachineSpec(
+    name="amd-6176se-48core",
+    cores=48,
+    simd_lanes=2,
+    flops_per_cycle_per_lane=2.0,
+    ghz=2.3,
+    mem_bandwidth_gbs=85.0,
+    sync_overhead_us=5.0,
+)
+
+#: the paper's quad-core Intel Core i5 desktop
+DESKTOP_QUAD = MachineSpec(
+    name="core-i5-quad",
+    cores=4,
+    simd_lanes=2,
+    flops_per_cycle_per_lane=2.0,
+    ghz=2.8,
+    mem_bandwidth_gbs=21.0,
+    sync_overhead_us=1.0,
+)
+
+#: a single sequential core of the desktop (Cover Tree baseline in Table 3)
+SEQUENTIAL = MachineSpec(
+    name="core-i5-1core",
+    cores=1,
+    simd_lanes=2,
+    flops_per_cycle_per_lane=2.0,
+    ghz=2.8,
+    mem_bandwidth_gbs=21.0,
+    sync_overhead_us=0.0,
+)
+
+#: the paper's NVIDIA Tesla c2050 (14 SMs x 32 lanes, 1.15 GHz, 144 GB/s)
+TESLA_C2050 = GpuSpec(
+    name="tesla-c2050",
+    cores=14,
+    sms=14,
+    warp_size=32,
+    lanes_per_sm=32,
+    flops_per_cycle_per_lane=1.0,
+    ghz=1.15,
+    mem_bandwidth_gbs=144.0,
+    sync_overhead_us=0.0,
+    kernel_launch_us=8.0,
+)

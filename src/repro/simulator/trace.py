@@ -1,0 +1,170 @@
+"""Operation traces: the interface between algorithms and machine models.
+
+The paper's central engineering claim is structural: RBC search *factors
+into brute-force calls*, whose distance step "has virtually the same
+structure as matrix-matrix multiply" and whose comparison step is a standard
+parallel reduce (§3), whereas tree search is a deep sequence of conditional,
+interleaved scalar steps that parallelize poorly and serialize on vector
+hardware.
+
+To evaluate that claim without the paper's 48-core server and Tesla c2050
+(see DESIGN.md §1), every algorithm in this package can *record* the
+operations it actually performs — tiles of pairwise distances, tree-reduce
+merge rounds, scalar branchy traversal steps — into a :class:`Trace`.  The
+machine models in :mod:`repro.simulator.machine` then replay a trace on a
+parameterized device and report the time it would take.  Work counts (FLOPs,
+bytes) in the trace come from the real computation, not from formulas, so
+the simulated comparisons inherit the real algorithmic behaviour.
+
+A trace is a list of :class:`Phase` objects.  Ops inside one phase are
+mutually independent and may run concurrently; phases are separated by
+barriers (e.g. all distance tiles must finish before the cross-tile merge
+begins).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Op", "Phase", "Trace", "TraceRecorder", "NULL_RECORDER"]
+
+
+@dataclass(frozen=True)
+class Op:
+    """One schedulable unit of work (runs on a single worker).
+
+    Parameters
+    ----------
+    kind:
+        ``"gemm"`` (dense tile of distance evaluations), ``"reduce"``
+        (comparison/merge step), ``"ewise"`` (element-wise pass),
+        ``"branchy"`` (data-dependent scalar control flow, e.g. a tree
+        descent), ``"memcpy"``.
+    flops:
+        floating point operations actually performed.
+    bytes:
+        memory traffic in bytes (reads + writes of operands).
+    vectorizable:
+        whether the op can use SIMD lanes; ``branchy`` ops cannot.
+    divergence:
+        fraction in [0, 1] of data-dependent branching; on SIMT devices
+        divergent lanes serialize (``1 + divergence * (warp - 1)`` slowdown).
+    chain:
+        dependency-chain id.  Ops in one phase with the same chain id are
+        data-dependent (e.g. the node expansions of ONE tree-search query,
+        or the inserts of a sequential build) and are scheduled as a single
+        sequential unit; ops with ``chain=None`` are independent.  This is
+        how the models distinguish "parallel across queries, serial within
+        a query" from genuinely parallel work.
+    """
+
+    kind: str
+    flops: float
+    bytes: float = 0.0
+    vectorizable: bool = True
+    divergence: float = 0.0
+    tag: str = ""
+    chain: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.bytes < 0:
+            raise ValueError("flops and bytes must be non-negative")
+        if not 0.0 <= self.divergence <= 1.0:
+            raise ValueError("divergence must be in [0, 1]")
+
+
+@dataclass
+class Phase:
+    """A barrier-delimited group of independent ops."""
+
+    name: str
+    ops: list[Op] = field(default_factory=list)
+
+    @property
+    def flops(self) -> float:
+        return sum(op.flops for op in self.ops)
+
+    @property
+    def bytes(self) -> float:
+        return sum(op.bytes for op in self.ops)
+
+
+@dataclass
+class Trace:
+    """An ordered sequence of phases emitted by one algorithm execution."""
+
+    phases: list[Phase] = field(default_factory=list)
+
+    @property
+    def flops(self) -> float:
+        return sum(p.flops for p in self.phases)
+
+    @property
+    def bytes(self) -> float:
+        return sum(p.bytes for p in self.phases)
+
+    @property
+    def n_ops(self) -> int:
+        return sum(len(p.ops) for p in self.phases)
+
+    def extend(self, other: "Trace") -> None:
+        """Append another trace's phases (sequential composition)."""
+        self.phases.extend(other.phases)
+
+
+class TraceRecorder:
+    """Collects ops into phases; algorithms call this while running.
+
+    A recorder is optional everywhere: the module-level :data:`NULL_RECORDER`
+    swallows records with near-zero overhead so production search paths pay
+    nothing when tracing is off.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.trace = Trace()
+        self._current: Phase | None = None
+
+    @contextmanager
+    def phase(self, name: str):
+        """Open a phase; ops recorded inside belong to it.
+
+        Nested phases are flattened into the outermost one — an algorithm
+        composed of traced sub-algorithms (RBC calling BF) keeps the
+        caller's barrier structure.
+        """
+        if self._current is not None:
+            yield self
+            return
+        self._current = Phase(name)
+        try:
+            yield self
+        finally:
+            if self._current.ops:
+                self.trace.phases.append(self._current)
+            self._current = None
+
+    def record(self, op: Op) -> None:
+        if self._current is None:
+            # op outside any phase gets its own barrier-delimited phase
+            self.trace.phases.append(Phase(op.tag or op.kind, [op]))
+        else:
+            self._current.ops.append(op)
+
+
+class _NullRecorder(TraceRecorder):
+    """Recorder that drops everything (tracing disabled)."""
+
+    enabled = False
+
+    def record(self, op: Op) -> None:  # noqa: D102 - intentional no-op
+        pass
+
+    @contextmanager
+    def phase(self, name: str):  # noqa: D102
+        yield self
+
+
+NULL_RECORDER = _NullRecorder()

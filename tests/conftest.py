@@ -1,0 +1,28 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_vectors(rng) -> tuple[np.ndarray, np.ndarray]:
+    """A small (X, Q) pair of generic float vectors."""
+    X = rng.normal(size=(400, 7))
+    Q = rng.normal(size=(25, 7))
+    return X, Q
+
+
+@pytest.fixture
+def clustered(rng) -> tuple[np.ndarray, np.ndarray]:
+    """Clustered data where pruning is effective: (X, Q) from one pool."""
+    from repro.data import manifold
+
+    full = manifold(3100, 16, 3, seed=7)
+    return full[:3000], full[3000:3050]

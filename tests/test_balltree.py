@@ -1,0 +1,85 @@
+"""Metric ball tree baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BallTree
+from repro.eval import results_match_exactly
+from repro.metrics import EditDistance, GraphMetric
+from repro.parallel import bf_knn
+
+
+@pytest.mark.parametrize("metric", ["euclidean", "manhattan", "angular"])
+@pytest.mark.parametrize("k", [1, 4])
+def test_exact_knn(metric, k, small_vectors):
+    X, Q = small_vectors
+    true_d, _ = bf_knn(Q, X, metric, k=k)
+    t = BallTree(metric=metric).build(X)
+    d, _ = t.query(Q, k=k)
+    assert results_match_exactly(d, true_d)
+
+
+@pytest.mark.parametrize("leaf_size", [1, 8, 200])
+def test_leaf_sizes(leaf_size, small_vectors):
+    X, Q = small_vectors
+    true_d, _ = bf_knn(Q, X, k=2)
+    t = BallTree(leaf_size=leaf_size).build(X)
+    d, _ = t.query(Q, k=2)
+    assert results_match_exactly(d, true_d)
+
+
+def test_duplicates_fall_back_to_leaf(rng):
+    X = np.repeat(rng.normal(size=(2, 3)), 30, axis=0)
+    t = BallTree(leaf_size=4).build(X)
+    true_d, _ = bf_knn(X[:2], X, k=3)
+    d, _ = t.query(X[:2], k=3)
+    assert results_match_exactly(d, true_d)
+
+
+def test_edit_distance(rng):
+    from repro.data import random_strings
+
+    S = random_strings(150, seed=2)
+    Q = random_strings(8, seed=3)
+    true_d, _ = bf_knn(Q, S, EditDistance(), k=2)
+    t = BallTree(metric=EditDistance()).build(S)
+    d, _ = t.query(Q, k=2)
+    assert results_match_exactly(d, true_d)
+
+
+def test_graph_metric():
+    from repro.data import random_geometric_graph
+
+    g, _ = random_geometric_graph(120, seed=1)
+    gm = GraphMetric(g)
+    ids = gm.node_ids()
+    X, Q = ids[:100], ids[100:]
+    true_d, _ = bf_knn(Q, X, gm, k=1)
+    t = BallTree(metric=GraphMetric(g)).build(X)
+    d, _ = t.query(Q, k=1)
+    assert results_match_exactly(d, true_d)
+
+
+def test_prunes_on_clustered(clustered):
+    X, Q = clustered
+    t = BallTree().build(X)
+    t.metric.reset_counter()
+    t.query(Q[:10], k=1)
+    assert t.metric.counter.n_evals / 10 < 0.9 * X.shape[0]
+
+
+def test_rejects_non_metric():
+    with pytest.raises(ValueError):
+        BallTree(metric="sqeuclidean")
+
+
+def test_validation(rng):
+    with pytest.raises(ValueError):
+        BallTree(leaf_size=0)
+    with pytest.raises(RuntimeError):
+        BallTree().query(np.zeros((1, 2)))
+    with pytest.raises(ValueError):
+        BallTree().build(np.empty((0, 3)))
+    t = BallTree().build(rng.normal(size=(10, 2)))
+    with pytest.raises(ValueError):
+        t.query(np.zeros((1, 2)), k=0)

@@ -1,0 +1,87 @@
+"""Block decomposition: tiles partition the output exactly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel import Tile, choose_tile_cols, grid_tiles, row_chunks
+
+
+def test_row_chunks_cover_range():
+    chunks = row_chunks(10, 3)
+    assert chunks == [(0, 3), (3, 6), (6, 9), (9, 10)]
+
+
+def test_row_chunks_single():
+    assert row_chunks(5, 100) == [(0, 5)]
+
+
+def test_row_chunks_empty():
+    assert row_chunks(0, 4) == []
+
+
+def test_row_chunks_rejects_bad_chunk():
+    with pytest.raises(ValueError):
+        row_chunks(10, 0)
+
+
+def test_grid_tiles_partition():
+    tiles = grid_tiles(7, 5, 3, 2)
+    covered = np.zeros((7, 5), dtype=int)
+    for t in tiles:
+        covered[t.row_lo : t.row_hi, t.col_lo : t.col_hi] += 1
+    assert (covered == 1).all()
+
+
+def test_grid_tiles_empty_dims():
+    assert grid_tiles(0, 5, 2, 2) == []
+    assert grid_tiles(5, 0, 2, 2) == []
+
+
+def test_tile_properties():
+    t = Tile(0, 3, 2, 6)
+    assert t.rows == 3
+    assert t.cols == 4
+    assert t.size == 12
+
+
+def test_degenerate_tile_rejected():
+    with pytest.raises(ValueError):
+        Tile(3, 3, 0, 1)
+    with pytest.raises(ValueError):
+        Tile(-1, 2, 0, 1)
+
+
+def test_choose_tile_cols_bounds():
+    assert choose_tile_cols(100, 10) == 100  # never exceeds n
+    big = choose_tile_cols(10_000_000, 10)
+    assert 256 <= big <= 10_000_000
+    # higher dimension -> smaller tiles for the same byte budget
+    assert choose_tile_cols(10_000_000, 1000) < choose_tile_cols(10_000_000, 10)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=40),
+    st.integers(min_value=1, max_value=40),
+    st.integers(min_value=1, max_value=10),
+    st.integers(min_value=1, max_value=10),
+)
+def test_property_tiles_partition(m, n, tr, tc):
+    covered = np.zeros((m, n), dtype=int)
+    for t in grid_tiles(m, n, tr, tc):
+        assert t.rows <= tr and t.cols <= tc
+        covered[t.row_lo : t.row_hi, t.col_lo : t.col_hi] += 1
+    assert (covered == 1).all()
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=0, max_value=200), st.integers(min_value=1, max_value=50))
+def test_property_row_chunks_partition(m, chunk):
+    chunks = row_chunks(m, chunk)
+    pos = 0
+    for lo, hi in chunks:
+        assert lo == pos and hi > lo and hi - lo <= chunk
+        pos = hi
+    assert pos == m

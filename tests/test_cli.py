@@ -1,0 +1,108 @@
+"""Command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def data_file(tmp_path, rng):
+    path = tmp_path / "data.npy"
+    np.save(path, rng.normal(size=(600, 6)))
+    return path
+
+
+@pytest.fixture
+def query_file(tmp_path, rng):
+    path = tmp_path / "queries.npy"
+    np.save(path, rng.normal(size=(7, 6)))
+    return path
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "bio" in out and "tiny32" in out
+    assert "euclidean" in out
+    assert "tesla-c2050" in out
+
+
+def test_build_and_query_roundtrip(tmp_path, data_file, query_file, capsys):
+    index_path = tmp_path / "index.npz"
+    assert main(["build", str(data_file), "-o", str(index_path)]) == 0
+    out = capsys.readouterr().out
+    assert "built exact RBC over 600 points" in out
+    assert index_path.exists()
+
+    assert main(["query", str(index_path), str(query_file), "-k", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "query 0:" in out
+    assert "evaluations/query" in out
+
+
+def test_build_oneshot(tmp_path, data_file, capsys):
+    index_path = tmp_path / "one.npz"
+    rc = main(
+        ["build", str(data_file), "-o", str(index_path),
+         "--algorithm", "oneshot", "--n-reps", "20", "--s", "40"]
+    )
+    assert rc == 0
+    assert "built oneshot RBC" in capsys.readouterr().out
+
+
+def test_query_results_match_library(tmp_path, data_file, query_file, capsys):
+    from repro.parallel import bf_knn
+
+    index_path = tmp_path / "index.npz"
+    main(["build", str(data_file), "-o", str(index_path)])
+    capsys.readouterr()
+    main(["query", str(index_path), str(query_file), "-k", "1", "--show", "7"])
+    out = capsys.readouterr().out
+    X = np.load(data_file)
+    Q = np.load(query_file)
+    _, ti = bf_knn(Q, X, k=1)
+    for r in range(7):
+        assert f"query {r}: #{int(ti[r, 0])} @" in out
+
+
+def test_dim(data_file, capsys):
+    assert main(["dim", str(data_file)]) == 0
+    out = capsys.readouterr().out
+    assert "expansion rate c" in out
+    assert "growth dimension" in out
+
+
+def test_dim_registry_dataset(capsys):
+    assert main(["dim", "tiny4", "--scale", "0.0005", "--centers", "16"]) == 0
+    assert "expansion rate" in capsys.readouterr().out
+
+
+def test_compare(data_file, capsys):
+    assert main(["compare", str(data_file), "--queries", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "answers identical: True" in out
+    assert "48-core sim" in out
+
+
+def test_bad_npy_shape(tmp_path, capsys):
+    path = tmp_path / "bad.npy"
+    np.save(path, np.zeros(5))
+    with pytest.raises(SystemExit, match="2-d"):
+        main(["dim", str(path)])
+
+
+def test_knn_graph(tmp_path, data_file, capsys):
+    out = tmp_path / "graph.npz"
+    assert main(["knn-graph", str(data_file), "-o", str(out), "-k", "4"]) == 0
+    assert "4-NN graph over 600 points" in capsys.readouterr().out
+    with np.load(out) as z:
+        assert z["dist"].shape == (600, 4)
+        assert z["idx"].shape == (600, 4)
+        # no self-edges
+        assert (z["idx"] != np.arange(600)[:, None]).all()
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

@@ -1,0 +1,171 @@
+"""Synthetic generators, projection, and the dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DATASETS,
+    dataset_names,
+    gaussian_mixture,
+    grid_l1,
+    image_patches,
+    jl_dimension,
+    load,
+    manifold,
+    random_geometric_graph,
+    random_projection,
+    random_strings,
+    robot_arm,
+    table1_rows,
+    uniform_hypercube,
+)
+
+
+def test_gaussian_mixture_shape_and_determinism():
+    a = gaussian_mixture(100, 5, seed=3)
+    b = gaussian_mixture(100, 5, seed=3)
+    assert a.shape == (100, 5)
+    np.testing.assert_array_equal(a, b)
+    c = gaussian_mixture(100, 5, seed=4)
+    assert not np.array_equal(a, c)
+
+
+def test_uniform_hypercube_range():
+    X = uniform_hypercube(200, 3, seed=0)
+    assert X.shape == (200, 3)
+    assert X.min() >= 0.0 and X.max() <= 1.0
+
+
+def test_manifold_shape_and_validation():
+    X = manifold(50, 10, 2, seed=0)
+    assert X.shape == (50, 10)
+    with pytest.raises(ValueError):
+        manifold(50, 5, 6)
+    with pytest.raises(ValueError):
+        manifold(50, 5, 0)
+
+
+def test_manifold_intrinsic_dim_governs_neighborhoods():
+    # with the same n, a 1-d manifold has much closer NNs than a 6-d one
+    from repro.parallel import bf_knn
+
+    def nn_dist(di):
+        X = manifold(2000, 12, di, noise=0.0, seed=1)
+        d, _ = bf_knn(X[:50], X[50:], k=1)
+        return float(np.median(d))
+
+    assert nn_dist(1) < 0.5 * nn_dist(6)
+
+
+def test_grid_l1_lattice():
+    X = grid_l1(3, 2)
+    assert X.shape == (9, 2)
+    assert set(map(tuple, X)) == {(i, j) for i in range(3) for j in range(3)}
+
+
+def test_grid_l1_size_guard():
+    with pytest.raises(ValueError):
+        grid_l1(100, 4)
+
+
+def test_robot_arm_shape_and_smoothness():
+    X = robot_arm(500, n_joints=7, seed=0)
+    assert X.shape == (500, 21)
+    # consecutive trajectory samples are close: it's a physical trace
+    steps = np.linalg.norm(np.diff(X[:, :7], axis=0), axis=1)
+    assert np.median(steps) < 0.5
+
+
+def test_image_patches_shape_and_correlation():
+    X = image_patches(50, patch=8, seed=0)
+    assert X.shape == (50, 64)
+    # neighbouring pixels in a patch are correlated (smooth fields)
+    corr = np.corrcoef(X[:, 0], X[:, 1])[0, 1]
+    assert corr > 0.5
+
+
+def test_random_strings_properties():
+    S = random_strings(100, seed=0, min_len=5, max_len=10)
+    assert len(S) == 100
+    assert all(set(s) <= set("acgt") for s in S)
+    assert S == random_strings(100, seed=0, min_len=5, max_len=10)
+
+
+def test_random_geometric_graph_connected():
+    import networkx as nx
+
+    g, pos = random_geometric_graph(80, seed=0)
+    assert g.number_of_nodes() == 80
+    assert nx.is_connected(g)
+    assert pos.shape == (80, 2)
+
+
+def test_jl_dimension_formula():
+    assert jl_dimension(1000, eps=0.5) == int(np.ceil(8 * np.log(1000) / 0.25))
+    with pytest.raises(ValueError):
+        jl_dimension(1000, eps=0.0)
+    with pytest.raises(ValueError):
+        jl_dimension(1)
+
+
+def test_random_projection_preserves_distances(rng):
+    X = rng.normal(size=(60, 300))
+    P, G = random_projection(X, 120, seed=0)
+    assert P.shape == (60, 120)
+    assert G.shape == (300, 120)
+    from scipy.spatial.distance import pdist
+
+    orig = pdist(X)
+    proj = pdist(P)
+    ratios = proj / orig
+    # JL: distortions concentrate near 1
+    assert 0.7 < ratios.min() and ratios.max() < 1.4
+
+
+def test_random_projection_applies_to_queries(rng):
+    X = rng.normal(size=(10, 50))
+    P, G = random_projection(X, 5, seed=0)
+    np.testing.assert_allclose(X @ G, P)
+
+
+def test_registry_matches_table1():
+    assert dataset_names() == [
+        "bio", "cov", "phy", "robot", "tiny4", "tiny8", "tiny16", "tiny32",
+    ]
+    assert DATASETS["bio"].paper_n == 200_000
+    assert DATASETS["bio"].dim == 74
+    assert DATASETS["robot"].dim == 21
+    assert DATASETS["tiny32"].dim == 32
+
+
+def test_load_shapes_and_split():
+    X, Q = load("phy", scale=0.01, n_queries=50)
+    assert X.shape == (1000, 78)
+    assert Q.shape == (50, 78)
+
+
+def test_load_deterministic():
+    X1, Q1 = load("bio", scale=0.005, n_queries=10)
+    X2, Q2 = load("bio", scale=0.005, n_queries=10)
+    np.testing.assert_array_equal(X1, X2)
+    np.testing.assert_array_equal(Q1, Q2)
+
+
+def test_load_max_n_cap():
+    X, _ = load("robot", scale=0.01, n_queries=10, max_n=500)
+    assert X.shape[0] == 500
+
+
+def test_load_unknown_and_bad_scale():
+    with pytest.raises(ValueError, match="unknown dataset"):
+        load("mnist")
+    with pytest.raises(ValueError, match="scale"):
+        load("bio", scale=0.0)
+
+
+def test_table1_rows_structure():
+    rows = table1_rows(scale=0.01)
+    assert len(rows) == 8
+    name, paper_n, gen_n, dim, idim = rows[0]
+    assert name == "bio" and paper_n == 200_000 and dim == 74
+    assert gen_n == 2000

@@ -1,0 +1,61 @@
+"""Expansion-rate estimation."""
+
+import numpy as np
+import pytest
+
+from repro.data import grid_l1, manifold, uniform_hypercube
+from repro.dimension import ExpansionEstimate, doubling_dimension, estimate_expansion_rate
+
+
+def test_grid_expansion_near_2_pow_d():
+    # Definition 1's motivating example: the l1 grid in R^d has c = 2^d
+    for d, lo, hi in [(1, 1.5, 3.0), (2, 2.5, 7.0)]:
+        side = {1: 512, 2: 45}[d]
+        X = grid_l1(side, d)
+        est = estimate_expansion_rate(X, "manhattan", n_centers=40, seed=0)
+        assert lo <= est.c <= hi, f"d={d}: c={est.c}"
+
+
+def test_higher_intrinsic_dim_larger_c():
+    cs = []
+    for di in (1, 2, 4):
+        X = manifold(4000, 8, di, noise=0.0, seed=0)
+        cs.append(estimate_expansion_rate(X, n_centers=40, seed=1).c)
+    assert cs[0] < cs[1] < cs[2]
+
+
+def test_log2c_reads_as_dimension():
+    X = uniform_hypercube(5000, 2, seed=0)
+    d_est = doubling_dimension(X, n_centers=50, seed=0)
+    assert 1.0 < d_est < 4.0
+
+
+def test_estimate_fields_consistent():
+    X = uniform_hypercube(1000, 3, seed=0)
+    est = estimate_expansion_rate(X, seed=0)
+    assert isinstance(est, ExpansionEstimate)
+    assert est.c_median <= est.c <= est.c_max
+    assert est.c >= 1.0
+    assert est.log2_c == pytest.approx(np.log2(est.c))
+
+
+def test_validation(rng):
+    with pytest.raises(ValueError):
+        estimate_expansion_rate(rng.normal(size=(5, 2)))
+    with pytest.raises(ValueError):
+        estimate_expansion_rate(rng.normal(size=(100, 2)), quantile=0.0)
+
+
+def test_degenerate_data_raises():
+    X = np.zeros((100, 3))  # all points identical: no positive radii
+    with pytest.raises(ValueError, match="degenerate"):
+        estimate_expansion_rate(X)
+
+
+def test_works_on_string_metric():
+    from repro.data import random_strings
+    from repro.metrics import EditDistance
+
+    S = random_strings(300, seed=0)
+    est = estimate_expansion_rate(S, EditDistance(), n_centers=20, seed=0)
+    assert est.c >= 1.0

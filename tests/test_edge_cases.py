@@ -1,0 +1,139 @@
+"""Edge-case coverage across the public API."""
+
+import numpy as np
+import pytest
+
+from repro.core import ExactRBC, OneShotRBC
+from repro.eval import results_match_exactly
+from repro.metrics import Euclidean
+from repro.parallel import bf_knn, bf_range
+
+
+def test_every_point_a_representative(small_vectors):
+    # n_reps = n degenerates gracefully: stage 1 IS brute force
+    X, Q = small_vectors
+    rbc = ExactRBC(seed=0, rep_scheme="exact").build(X, n_reps=X.shape[0])
+    d, _ = rbc.query(Q, k=2)
+    td, _ = bf_knn(Q, X, k=2)
+    assert results_match_exactly(d, td)
+    # every list is the representative alone (each point is its own rep)
+    assert all(lst.size == 1 for lst in rbc.lists)
+
+
+def test_single_representative(small_vectors):
+    X, Q = small_vectors
+    rbc = ExactRBC(seed=0, rep_scheme="exact").build(X, n_reps=1)
+    d, _ = rbc.query(Q, k=3)
+    td, _ = bf_knn(Q, X, k=3)
+    assert results_match_exactly(d, td)
+
+
+def test_single_point_database():
+    X = np.array([[3.0, 4.0]])
+    for cls in (ExactRBC, OneShotRBC):
+        idx = cls(seed=0).build(X)
+        d, i = idx.query(np.array([[0.0, 0.0]]), k=1)
+        assert i[0, 0] == 0
+        assert d[0, 0] == pytest.approx(5.0)
+
+
+def test_queries_equal_database(small_vectors):
+    X, _ = small_vectors
+    rbc = ExactRBC(seed=0).build(X)
+    d, i = rbc.query(X, k=1)
+    np.testing.assert_array_equal(i[:, 0], np.arange(X.shape[0]))
+
+
+def test_shared_metric_instance_across_indexes(small_vectors):
+    # a user may pass one metric object to several structures; counters
+    # are shared but results must stay correct
+    X, Q = small_vectors
+    m = Euclidean()
+    a = ExactRBC(metric=m, seed=0).build(X)
+    b = OneShotRBC(metric=m, seed=1).build(X, n_reps=20, s=50)
+    da, _ = a.query(Q, k=1)
+    db, _ = b.query(Q, k=1)
+    td, _ = bf_knn(Q, X, k=1)
+    assert results_match_exactly(da, td)
+    assert (db[:, 0] >= td[:, 0] - 1e-9).all()
+
+
+def test_range_query_huge_eps_returns_everything(small_vectors):
+    X, Q = small_vectors
+    rbc = ExactRBC(seed=0).build(X)
+    out = rbc.range_query(Q[:3], 1e9)
+    for d, i in out:
+        assert i.size == X.shape[0]
+
+
+def test_bf_range_tiny_eps_finds_self(small_vectors):
+    X, _ = small_vectors
+    # eps above the sq-euclidean cancellation noise floor: finds self
+    out = bf_range(X[:2], X, 1e-5)
+    for r, (d, i) in enumerate(out):
+        assert r in i
+
+
+def test_bf_range_eps_zero_integer_data():
+    # with cancellation-free coordinates, eps=0 returns exact matches
+    X = np.arange(20.0)[:, None]
+    out = bf_range(X[:3], X, 0.0)
+    for r, (d, i) in enumerate(out):
+        assert i.tolist() == [r]
+        assert d[0] == 0.0
+
+
+def test_chebyshev_grid_exact():
+    from repro.data import grid_l1
+
+    X = grid_l1(6, 2)
+    Q = X[::4] + 0.25
+    rbc = ExactRBC(metric="chebyshev", seed=0).build(X)
+    d, _ = rbc.query(Q, k=3)
+    td, _ = bf_knn(Q, X, "chebyshev", k=3)
+    assert results_match_exactly(d, td)
+
+
+def test_one_dimensional_data(rng):
+    X = np.sort(rng.normal(size=(300, 1)), axis=0)
+    Q = rng.normal(size=(10, 1))
+    for cls in (ExactRBC, OneShotRBC):
+        idx = cls(seed=0).build(X)
+        d, i = idx.query(Q, k=2)
+        assert np.isfinite(d).all()
+    td, _ = bf_knn(Q, X, k=2)
+    d, _ = ExactRBC(seed=0).build(X).query(Q, k=2)
+    assert results_match_exactly(d, td)
+
+
+def test_identical_database_points_knn(rng):
+    # all points identical: any k of them is a correct answer at dist 0
+    X = np.tile(rng.normal(size=(1, 3)), (40, 1))
+    rbc = ExactRBC(seed=0).build(X)
+    d, i = rbc.query(X[:2], k=5)
+    np.testing.assert_allclose(d, 0.0, atol=1e-6)
+    for row in i:
+        assert len(set(row.tolist())) == 5  # five distinct ids
+
+
+def test_very_large_k_equals_full_sort(small_vectors):
+    X, Q = small_vectors
+    n = X.shape[0]
+    rbc = ExactRBC(seed=0).build(X)
+    d, i = rbc.query(Q[:3], k=n)
+    td, _ = bf_knn(Q[:3], X, k=n)
+    assert results_match_exactly(d, td)
+    # the full ranking contains every database point once
+    for row in i:
+        assert sorted(row.tolist()) == list(range(n))
+
+
+def test_metric_counter_monotone_across_operations(small_vectors):
+    X, Q = small_vectors
+    rbc = ExactRBC(seed=0).build(X)
+    readings = [rbc.metric.counter.n_evals]
+    for _ in range(3):
+        rbc.query(Q, k=1)
+        readings.append(rbc.metric.counter.n_evals)
+    assert readings == sorted(readings)
+    assert readings[-1] > readings[0]

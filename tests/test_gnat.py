@@ -1,0 +1,108 @@
+"""GNAT baseline (Brin 1995)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GNAT
+from repro.eval import results_match_exactly
+from repro.metrics import EditDistance
+from repro.parallel import bf_knn
+
+
+@pytest.mark.parametrize("k", [1, 4])
+@pytest.mark.parametrize("metric", ["euclidean", "manhattan"])
+def test_exact_knn(metric, k, small_vectors):
+    X, Q = small_vectors
+    true_d, _ = bf_knn(Q, X, metric, k=k)
+    g = GNAT(metric=metric, seed=0).build(X)
+    d, _ = g.query(Q, k=k)
+    assert results_match_exactly(d, true_d)
+
+
+@pytest.mark.parametrize("arity", [2, 4, 16])
+def test_arity_variants(arity, small_vectors):
+    X, Q = small_vectors
+    true_d, _ = bf_knn(Q, X, k=2)
+    g = GNAT(arity=arity, seed=0).build(X)
+    d, _ = g.query(Q, k=2)
+    assert results_match_exactly(d, true_d)
+
+
+def test_prunes_on_clustered(clustered):
+    X, Q = clustered
+    g = GNAT(seed=0).build(X)
+    g.metric.reset_counter()
+    g.query(Q[:10], k=1)
+    assert g.metric.counter.n_evals / 10 < 0.6 * X.shape[0]
+
+
+def test_range_tables_cover_members(small_vectors):
+    X, _ = small_vectors
+    g = GNAT(seed=0, leaf_size=16).build(X)
+
+    def collect(node):
+        if node.leaf_ids is not None:
+            return [node.leaf_ids]
+        return [np.concatenate(collect(c)) for c in node.children]
+
+    node = g.root
+    assert node.split_ids is not None
+    child_members = collect(node)
+    for i, si in enumerate(node.split_ids):
+        for j in range(len(node.children)):
+            members = child_members[j]
+            D = g.metric.pairwise(g.metric.take(X, [si]), g.metric.take(X, members))[0]
+            lo, hi = node.ranges[i, j]
+            assert D.min() >= lo - 1e-9
+            assert D.max() <= hi + 1e-9
+
+
+def test_duplicates(rng):
+    X = np.repeat(rng.normal(size=(4, 3)), 15, axis=0)
+    g = GNAT(seed=0).build(X)
+    true_d, _ = bf_knn(X[:4], X, k=5)
+    d, _ = g.query(X[:4], k=5)
+    assert results_match_exactly(d, true_d)
+
+
+def test_edit_distance():
+    from repro.data import random_strings
+
+    S = random_strings(200, seed=4)
+    Q = random_strings(8, seed=5)
+    true_d, _ = bf_knn(Q, S, EditDistance(), k=1)
+    g = GNAT(metric=EditDistance(), seed=0).build(S)
+    d, _ = g.query(Q, k=1)
+    assert results_match_exactly(d, true_d)
+
+
+def test_validation(rng):
+    with pytest.raises(ValueError):
+        GNAT(arity=1)
+    with pytest.raises(ValueError):
+        GNAT(leaf_size=0)
+    with pytest.raises(ValueError):
+        GNAT(metric="sqeuclidean")
+    with pytest.raises(RuntimeError):
+        GNAT().query(np.zeros((1, 2)))
+    with pytest.raises(ValueError):
+        GNAT().build(np.empty((0, 3)))
+    g = GNAT(seed=0).build(rng.normal(size=(100, 2)))
+    with pytest.raises(ValueError):
+        g.query(np.zeros((1, 2)), k=0)
+
+
+def test_all_points_in_exactly_one_region(small_vectors):
+    X, _ = small_vectors
+
+    def collect_all(node):
+        if node.leaf_ids is not None:
+            return list(node.leaf_ids)
+        out = []
+        for c in node.children:
+            out.extend(collect_all(c))
+        return out
+
+    g = GNAT(seed=0).build(X)
+    ids = collect_all(g.root)
+    assert sorted(ids) == list(range(X.shape[0]))

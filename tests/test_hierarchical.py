@@ -1,0 +1,97 @@
+"""Two-level one-shot RBC."""
+
+import numpy as np
+import pytest
+
+from repro.core.hierarchical import HierarchicalOneShotRBC
+from repro.parallel import bf_knn
+
+
+@pytest.fixture(scope="module")
+def big_clustered():
+    from repro.data import manifold
+
+    full = manifold(30_100, 12, 3, seed=9)
+    return full[:30_000], full[30_000:30_100]
+
+
+def test_finds_reasonable_neighbors(big_clustered):
+    X, Q = big_clustered
+    true_d, _ = bf_knn(Q, X, k=1)
+    h = HierarchicalOneShotRBC(seed=0).build(X)
+    d, i = h.query(Q, k=1, n_probes=3)
+    # routing is two-level-approximate: most queries land on the true NN,
+    # the rest on a near neighbor
+    hit = np.isclose(d[:, 0], true_d[:, 0], rtol=1e-9, atol=1e-9).mean()
+    assert hit >= 0.6
+    assert np.median(d[:, 0] / np.maximum(true_d[:, 0], 1e-12)) < 1.5
+
+
+def test_self_queries_found(big_clustered):
+    X, _ = big_clustered
+    h = HierarchicalOneShotRBC(seed=0).build(X)
+    d, i = h.query(X[:50], k=1, n_probes=3)
+    assert (d[:, 0] < 1e-6).mean() >= 0.8
+
+
+def test_less_work_than_flat_oneshot(big_clustered):
+    from repro.core import OneShotRBC
+
+    X, Q = big_clustered
+    n = X.shape[0]
+    flat = OneShotRBC(seed=0, rep_scheme="exact").build(
+        X, n_reps=int(n**0.5), s=int(n**0.5)
+    )
+    flat.query(Q, k=1)
+    flat_work = flat.last_stats.per_query_evals()
+    h = HierarchicalOneShotRBC(seed=0).build(X)
+    h.query(Q, k=1, n_probes=1)
+    hier_work = h.last_stats.per_query_evals()
+    assert hier_work < flat_work
+
+
+def test_more_probes_improve_quality(big_clustered):
+    X, Q = big_clustered
+    true_d, _ = bf_knn(Q, X, k=1)
+    h = HierarchicalOneShotRBC(seed=0).build(X)
+
+    def hit_rate(p):
+        d, _ = h.query(Q, k=1, n_probes=p)
+        return np.isclose(d[:, 0], true_d[:, 0], atol=1e-9).mean()
+
+    assert hit_rate(4) >= hit_rate(1)
+
+
+def test_no_duplicate_results(big_clustered):
+    X, Q = big_clustered
+    h = HierarchicalOneShotRBC(seed=0).build(X)
+    _, i = h.query(Q, k=5, n_probes=3)
+    for row in i:
+        real = [x for x in row if x >= 0]
+        assert len(real) == len(set(real))
+
+
+def test_stats_and_validation(big_clustered):
+    X, Q = big_clustered
+    h = HierarchicalOneShotRBC(seed=0)
+    with pytest.raises(RuntimeError):
+        h.query(Q)
+    h.build(X)
+    with pytest.raises(ValueError):
+        h.query(Q, k=0)
+    h.query(Q, k=1)
+    st = h.last_stats
+    assert st.n_queries == len(Q)
+    assert st.stage1_evals > 0 and st.stage2_evals > 0
+    with pytest.raises(ValueError):
+        HierarchicalOneShotRBC().build(np.empty((0, 2)))
+
+
+def test_explicit_level_parameters(big_clustered):
+    X, Q = big_clustered
+    h = HierarchicalOneShotRBC(seed=0).build(
+        X, n_reps=900, s=120, inner_n_reps=30, inner_s=60
+    )
+    assert h.inner.n >= 1
+    d, _ = h.query(Q[:10], k=2)
+    assert d.shape == (10, 2)

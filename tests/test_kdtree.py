@@ -1,0 +1,86 @@
+"""kd-tree baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import KDTree
+from repro.eval import results_match_exactly
+from repro.parallel import bf_knn
+
+
+@pytest.mark.parametrize("metric", ["euclidean", "manhattan", "chebyshev"])
+@pytest.mark.parametrize("k", [1, 3])
+def test_exact_knn(metric, k, small_vectors):
+    X, Q = small_vectors
+    true_d, _ = bf_knn(Q, X, metric, k=k)
+    t = KDTree(metric=metric).build(X)
+    d, _ = t.query(Q, k=k)
+    assert results_match_exactly(d, true_d)
+
+
+def test_unsupported_metric_rejected():
+    with pytest.raises(ValueError, match="l1/l2/linf"):
+        KDTree(metric="angular")
+
+
+@pytest.mark.parametrize("leaf_size", [1, 4, 128])
+def test_leaf_sizes(leaf_size, small_vectors):
+    X, Q = small_vectors
+    true_d, _ = bf_knn(Q, X, k=2)
+    t = KDTree(leaf_size=leaf_size).build(X)
+    d, _ = t.query(Q, k=2)
+    assert results_match_exactly(d, true_d)
+
+
+def test_leaf_size_validation():
+    with pytest.raises(ValueError):
+        KDTree(leaf_size=0)
+
+
+def test_duplicate_points(rng):
+    X = np.repeat(rng.normal(size=(4, 2)), 20, axis=0)
+    t = KDTree(leaf_size=4).build(X)
+    true_d, _ = bf_knn(X[:4], X, k=5)
+    d, _ = t.query(X[:4], k=5)
+    assert results_match_exactly(d, true_d)
+
+
+def test_effective_in_low_dim(rng):
+    X = rng.random((5000, 2))
+    Q = rng.random((20, 2))
+    t = KDTree().build(X)
+    t.metric.reset_counter()
+    t.query(Q, k=1)
+    per_query = t.metric.counter.n_evals / 20
+    assert per_query < 0.05 * X.shape[0]  # massive pruning in 2-d
+
+
+def test_degrades_in_high_dim(rng):
+    def work(d):
+        X = rng.random((2000, d))
+        Q = rng.random((10, d))  # generic queries, not database points
+        t = KDTree().build(X)
+        t.metric.reset_counter()
+        t.query(Q, k=1)
+        return t.metric.counter.n_evals
+
+    assert work(25) > 5 * work(2)  # the curse of dimensionality
+
+
+def test_query_before_build():
+    with pytest.raises(RuntimeError):
+        KDTree().query(np.zeros((1, 2)))
+
+
+def test_k_exceeds_database(rng):
+    X = rng.normal(size=(3, 2))
+    t = KDTree().build(X)
+    d, i = t.query(rng.normal(size=(2, 2)), k=5)
+    assert np.isfinite(d[:, :3]).all()
+    assert (i[:, 3:] == -1).all()
+
+
+def test_depth_reasonable(rng):
+    X = rng.random((4096, 3))
+    t = KDTree(leaf_size=16).build(X)
+    assert t.depth() <= 12  # log2(4096/16) + 1 + slack

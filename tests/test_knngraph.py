@@ -1,0 +1,85 @@
+"""k-NN graph construction."""
+
+import numpy as np
+import pytest
+
+from repro.core.knngraph import knn_graph, knn_graph_networkx, mutual_knn_graph
+
+
+def test_rbc_matches_brute(small_vectors):
+    X, _ = small_vectors
+    d1, i1 = knn_graph(X, 4, method="rbc", seed=0)
+    d2, i2 = knn_graph(X, 4, method="brute")
+    np.testing.assert_allclose(d1, d2, atol=1e-9)
+
+
+def test_self_excluded(small_vectors):
+    X, _ = small_vectors
+    d, i = knn_graph(X, 3)
+    for r in range(X.shape[0]):
+        assert r not in i[r]
+    assert (d > 0).all()
+
+
+def test_rows_sorted(small_vectors):
+    X, _ = small_vectors
+    d, _ = knn_graph(X, 5)
+    assert (np.diff(d, axis=1) >= -1e-12).all()
+
+
+def test_duplicates_handled():
+    X = np.repeat(np.arange(5.0)[:, None], 3, axis=0)
+    d, i = knn_graph(X, 2, method="brute")
+    for r in range(X.shape[0]):
+        assert r not in i[r]
+        # each point's duplicates are at distance ~0
+        assert d[r, 0] == pytest.approx(0.0, abs=1e-9)
+
+
+def test_validation(small_vectors):
+    X, _ = small_vectors
+    with pytest.raises(ValueError):
+        knn_graph(X, 0)
+    with pytest.raises(ValueError):
+        knn_graph(X, 2, method="magic")
+    with pytest.raises(ValueError):
+        knn_graph(X[:3], 5)  # k >= n
+
+
+def test_mutual_edges_are_mutual(small_vectors):
+    X, _ = small_vectors
+    k = 4
+    d, i = knn_graph(X, k)
+    rows, cols, dists = mutual_knn_graph(X, k)
+    assert (rows < cols).all()
+    neighbor = [set(map(int, r)) for r in i]
+    for u, v in zip(rows, cols):
+        assert v in neighbor[u] and u in neighbor[v]
+    # every mutual pair in the brute graph is present
+    expected = sum(
+        1
+        for u in range(X.shape[0])
+        for v in neighbor[u]
+        if u < v and u in neighbor[v]
+    )
+    assert len(rows) == expected
+
+
+def test_networkx_graph(small_vectors):
+    X, _ = small_vectors
+    g = knn_graph_networkx(X, 3, seed=0)
+    assert g.number_of_nodes() == X.shape[0]
+    # symmetric closure: at least k edges per node's selections / 2
+    assert g.number_of_edges() >= X.shape[0] * 3 / 2
+    for _, _, w in g.edges(data="weight"):
+        assert w > 0
+
+
+def test_string_knn_graph():
+    from repro.data import random_strings
+    from repro.metrics import EditDistance
+
+    S = random_strings(120, seed=0)
+    d, i = knn_graph(S, 2, EditDistance(), method="rbc")
+    d2, i2 = knn_graph(S, 2, EditDistance(), method="brute")
+    np.testing.assert_allclose(d, d2)

@@ -1,0 +1,182 @@
+"""Machine models: roofline op times, scheduling, scaling."""
+
+import pytest
+
+from repro.simulator import (
+    AMD_48CORE,
+    DESKTOP_QUAD,
+    SEQUENTIAL,
+    TESLA_C2050,
+    GpuSpec,
+    MachineSpec,
+    Op,
+    Phase,
+    Trace,
+    simulate,
+    speedup,
+    strong_scaling,
+    with_cores,
+)
+
+
+def _flat_machine(cores=4):
+    """Machine with convenient round numbers and no sync overhead."""
+    return MachineSpec(
+        name="test",
+        cores=cores,
+        simd_lanes=1,
+        flops_per_cycle_per_lane=1.0,
+        ghz=1.0,  # 1e9 flop/s per core
+        mem_bandwidth_gbs=1e3,  # effectively never memory-bound here
+        sync_overhead_us=0.0,
+    )
+
+
+def test_compute_bound_op_time():
+    m = _flat_machine()
+    op = Op("gemm", flops=1e9, bytes=8.0)
+    assert m.op_time(op) == pytest.approx(1.0)
+
+
+def test_memory_bound_op_time():
+    m = MachineSpec(
+        name="bw", cores=1, simd_lanes=1, flops_per_cycle_per_lane=1.0,
+        ghz=100.0, mem_bandwidth_gbs=1.0, sync_overhead_us=0.0,
+    )
+    op = Op("memcpy", flops=1.0, bytes=1e9)
+    assert m.op_time(op) == pytest.approx(1.0)  # roofline: bandwidth wins
+
+
+def test_scalar_op_slower_than_vector():
+    m = MachineSpec(
+        name="v", cores=1, simd_lanes=8, flops_per_cycle_per_lane=2.0,
+        ghz=1.0, mem_bandwidth_gbs=1e3, sync_overhead_us=0.0,
+    )
+    vec = Op("gemm", flops=1e6, vectorizable=True)
+    scalar = Op("branchy", flops=1e6, vectorizable=False)
+    assert m.op_time(scalar) / m.op_time(vec) == pytest.approx(16.0)
+
+
+def test_gpu_divergence_penalty():
+    g = TESLA_C2050
+    clean = Op("gemm", flops=1e6, divergence=0.0)
+    divergent = Op("gemm", flops=1e6, divergence=1.0)
+    assert g.op_time(divergent) / g.op_time(clean) == pytest.approx(
+        g.warp_size, rel=1e-6
+    )
+
+
+def test_gpu_partial_divergence_interpolates():
+    g = TESLA_C2050
+    half = Op("gemm", flops=1e6, divergence=0.5)
+    clean = Op("gemm", flops=1e6)
+    assert g.op_time(half) / g.op_time(clean) == pytest.approx(
+        1 + 0.5 * (g.warp_size - 1)
+    )
+
+
+def test_simulate_perfectly_parallel_phase():
+    m = _flat_machine(cores=4)
+    ops = [Op("gemm", flops=1e9) for _ in range(4)]
+    res = simulate(Trace([Phase("p", ops)]), m)
+    assert res.time_s == pytest.approx(1.0)
+    assert res.utilization == pytest.approx(1.0)
+
+
+def test_simulate_serial_phase_wastes_cores():
+    m = _flat_machine(cores=4)
+    res = simulate(Trace([Phase("p", [Op("gemm", flops=1e9)])]), m)
+    assert res.time_s == pytest.approx(1.0)
+    assert res.utilization == pytest.approx(0.25)
+
+
+def test_simulate_phases_are_barriers():
+    m = _flat_machine(cores=2)
+    t = Trace(
+        [
+            Phase("a", [Op("gemm", flops=1e9), Op("gemm", flops=1e9)]),
+            Phase("b", [Op("gemm", flops=1e9)]),
+        ]
+    )
+    res = simulate(t, m)
+    assert res.time_s == pytest.approx(2.0)  # 1s parallel + 1s serial
+
+
+def test_simulate_lpt_balances_uneven_ops():
+    m = _flat_machine(cores=2)
+    # LPT on costs [3,2,2,1]e9 over 2 cores -> makespan 4 (3+1 | 2+2)
+    ops = [Op("gemm", flops=f * 1e9) for f in (3, 2, 2, 1)]
+    res = simulate(Trace([Phase("p", ops)]), m)
+    assert res.time_s == pytest.approx(4.0)
+
+
+def test_sync_overhead_charged_per_phase():
+    m = MachineSpec(
+        name="s", cores=1, simd_lanes=1, flops_per_cycle_per_lane=1.0,
+        ghz=1.0, mem_bandwidth_gbs=1e3, sync_overhead_us=100.0,
+    )
+    t = Trace([Phase("a", [Op("gemm", flops=0.0)])] * 3)
+    res = simulate(t, m)
+    assert res.time_s == pytest.approx(300e-6)
+
+
+def test_empty_trace():
+    res = simulate(Trace(), DESKTOP_QUAD)
+    assert res.time_s == 0.0
+    assert res.utilization == 0.0
+
+
+def test_with_cores_replaces_count():
+    m2 = with_cores(DESKTOP_QUAD, 16)
+    assert m2.cores == 16
+    assert m2.mem_bandwidth_gbs == DESKTOP_QUAD.mem_bandwidth_gbs
+    g2 = with_cores(TESLA_C2050, 28)
+    assert g2.sms == 28
+
+
+def test_strong_scaling_compute_bound_is_linearish():
+    m = _flat_machine()
+    ops = [Op("gemm", flops=1e8) for _ in range(64)]
+    t = Trace([Phase("p", ops)])
+    results = strong_scaling(t, m, [1, 2, 4, 8])
+    times = [r.time_s for _, r in results]
+    assert times == sorted(times, reverse=True)
+    assert times[0] / times[-1] == pytest.approx(8.0, rel=0.05)
+
+
+def test_strong_scaling_bandwidth_bound_saturates():
+    m = MachineSpec(
+        name="bw", cores=1, simd_lanes=1, flops_per_cycle_per_lane=1.0,
+        ghz=100.0, mem_bandwidth_gbs=10.0, sync_overhead_us=0.0,
+    )
+    ops = [Op("memcpy", flops=1.0, bytes=1e8) for _ in range(64)]
+    t = Trace([Phase("p", ops)])
+    results = strong_scaling(t, m, [1, 8, 64])
+    times = [r.time_s for _, r in results]
+    # fixed socket bandwidth: adding cores cannot speed a bound phase
+    assert times[0] == pytest.approx(times[-1], rel=0.05)
+
+
+def test_speedup_ratio():
+    m = _flat_machine(1)
+    slow = simulate(Trace([Phase("p", [Op("gemm", flops=2e9)])]), m)
+    fast = simulate(Trace([Phase("p", [Op("gemm", flops=1e9)])]), m)
+    assert speedup(slow, fast) == pytest.approx(2.0)
+
+
+def test_presets_are_sane():
+    assert AMD_48CORE.cores == 48
+    assert DESKTOP_QUAD.cores == 4
+    assert SEQUENTIAL.cores == 1
+    assert isinstance(TESLA_C2050, GpuSpec)
+    # peak rates are in realistic ranges (GFLOP/s)
+    assert 100 < AMD_48CORE.peak_gflops < 2000
+    assert 100 < TESLA_C2050.peak_gflops < 2000
+    assert AMD_48CORE.peak_gflops > DESKTOP_QUAD.peak_gflops
+
+
+def test_machine_validation():
+    with pytest.raises(ValueError):
+        MachineSpec(name="bad", cores=0)
+    with pytest.raises(ValueError):
+        MachineSpec(name="bad", ghz=-1.0)

@@ -1,0 +1,129 @@
+"""Edit-distance metric: reference agreement and metric properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import EditDistance, check_metric_axioms, encode_strings
+
+
+def reference_levenshtein(a: str, b: str) -> int:
+    """Classic O(len(a) * len(b)) dynamic program, scalar."""
+    prev = list(range(len(b) + 1))
+    for i, ca in enumerate(a, 1):
+        cur = [i] + [0] * len(b)
+        for j, cb in enumerate(b, 1):
+            cur[j] = min(
+                prev[j] + 1, cur[j - 1] + 1, prev[j - 1] + (ca != cb)
+            )
+        prev = cur
+    return prev[-1]
+
+
+KNOWN = [
+    ("kitten", "sitting", 3),
+    ("flaw", "lawn", 2),
+    ("", "", 0),
+    ("", "abc", 3),
+    ("abc", "", 3),
+    ("abc", "abc", 0),
+    ("abc", "abd", 1),
+    ("ab", "ba", 2),
+]
+
+
+@pytest.mark.parametrize("a,b,expected", KNOWN)
+def test_known_pairs(a, b, expected):
+    m = EditDistance()
+    assert m.pairwise([a], [b])[0, 0] == expected
+
+
+def test_batch_matches_reference(rng):
+    m = EditDistance()
+    words = ["acgt", "aacg", "gggg", "a", "", "acgtacgt", "tgca", "cat"]
+    D = m.pairwise(words, words)
+    for i, a in enumerate(words):
+        for j, b in enumerate(words):
+            assert D[i, j] == reference_levenshtein(a, b), (a, b)
+
+
+def test_axioms_on_random_strings(rng):
+    from repro.data import random_strings
+
+    S = random_strings(40, seed=3)
+    check_metric_axioms(EditDistance(), S, n_triples=60, rng=rng)
+
+
+def test_encode_roundtrip_lengths():
+    codes, lengths = encode_strings(["ab", "", "abcd"])
+    assert codes.shape == (3, 4)
+    np.testing.assert_array_equal(lengths, [2, 0, 4])
+    assert (codes[1] == -1).all()
+
+
+def test_take_and_length():
+    m = EditDistance()
+    S = ["alpha", "beta", "gamma"]
+    sub = m.take(S, [0, 2])
+    assert m.length(sub) == 2
+    # distances via the encoded subset match direct computation
+    D = m.pairwise(sub, ["beta"])
+    assert D[0, 0] == reference_levenshtein("alpha", "beta")
+    assert D[1, 0] == reference_levenshtein("gamma", "beta")
+
+
+def test_single_string_query_batching():
+    m = EditDistance()
+    assert m.distance("abc", "abd") == 1.0
+
+
+def test_counter_counts_string_pairs():
+    m = EditDistance()
+    m.pairwise(["ab", "cd"], ["x", "y", "z"])
+    assert m.counter.n_evals == 6
+
+
+def test_cache_not_fooled_by_recycled_ids():
+    # regression: CPython reuses object ids after garbage collection, so a
+    # cache keyed by bare id(X) can serve one dataset's encoding for
+    # another; the cache must verify identity
+    m = EditDistance()
+    for trial in range(50):
+        words = [f"word{trial}", f"other{trial}"]
+        D = m.pairwise(words, [f"word{trial}"])
+        assert D[0, 0] == 0, f"stale cache hit on trial {trial}"
+        del words
+
+
+def test_unicode_strings():
+    m = EditDistance()
+    assert m.pairwise(["héllo"], ["hello"])[0, 0] == 1
+    assert m.pairwise(["日本語"], ["日本"])[0, 0] == 1
+
+
+SHORT = st.text(alphabet="abcd", max_size=8)
+
+
+@settings(max_examples=60, deadline=None)
+@given(SHORT, SHORT)
+def test_property_matches_reference(a, b):
+    assert EditDistance().pairwise([a], [b])[0, 0] == reference_levenshtein(a, b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(SHORT, SHORT, SHORT)
+def test_property_triangle(a, b, c):
+    m = EditDistance()
+    dab = m.pairwise([a], [b])[0, 0]
+    dac = m.pairwise([a], [c])[0, 0]
+    dcb = m.pairwise([c], [b])[0, 0]
+    assert dab <= dac + dcb
+
+
+@settings(max_examples=40, deadline=None)
+@given(SHORT, st.integers(min_value=0, max_value=3))
+def test_property_single_insert_costs_one(s, pos):
+    pos = min(pos, len(s))
+    t = s[:pos] + "x" + s[pos:]
+    assert EditDistance().pairwise([s], [t])[0, 0] == 1

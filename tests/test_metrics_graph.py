@@ -1,0 +1,82 @@
+"""Graph shortest-path metric."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.metrics import GraphMetric, check_metric_axioms
+
+
+def path_graph_metric(n=6):
+    g = nx.path_graph(n)
+    for u, v in g.edges:
+        g[u][v]["weight"] = 1.0
+    return GraphMetric(g)
+
+
+def test_path_graph_distances():
+    m = path_graph_metric(6)
+    ids = m.node_ids()
+    D = m.pairwise(ids, ids)
+    for i in range(6):
+        for j in range(6):
+            assert D[i, j] == abs(i - j)
+
+
+def test_weighted_triangle():
+    g = nx.Graph()
+    g.add_edge("a", "b", weight=1.0)
+    g.add_edge("b", "c", weight=2.0)
+    g.add_edge("a", "c", weight=10.0)  # shortcut is longer than the path
+    m = GraphMetric(g)
+    ids = m.node_ids(["a", "c"])
+    assert m.pairwise([ids[0]], [ids[1]])[0, 0] == 3.0
+
+
+def test_disconnected_raises():
+    g = nx.Graph()
+    g.add_edge(0, 1, weight=1.0)
+    g.add_node(2)
+    with pytest.raises(ValueError, match="connected"):
+        GraphMetric(g)
+
+
+def test_empty_graph_raises():
+    with pytest.raises(ValueError, match="empty"):
+        GraphMetric(nx.Graph())
+
+
+def test_nonpositive_weight_raises():
+    g = nx.Graph()
+    g.add_edge(0, 1, weight=0.0)
+    with pytest.raises(ValueError, match="positive"):
+        GraphMetric(g)
+
+
+def test_axioms_on_random_graph(rng):
+    from repro.data import random_geometric_graph
+
+    g, _ = random_geometric_graph(60, seed=2)
+    m = GraphMetric(g)
+    check_metric_axioms(m, m.node_ids(), n_triples=60, rng=rng)
+
+
+def test_take_and_length():
+    m = path_graph_metric(5)
+    ids = m.node_ids()
+    sub = m.take(ids, [1, 3])
+    assert m.length(sub) == 2
+    np.testing.assert_array_equal(sub, [1, 3])
+
+
+def test_matches_networkx_dijkstra(rng):
+    from repro.data import random_geometric_graph
+
+    g, _ = random_geometric_graph(40, seed=4)
+    m = GraphMetric(g)
+    ids = m.node_ids()
+    D = m.pairwise(ids[:5], ids)
+    for i in range(5):
+        lengths = nx.single_source_dijkstra_path_length(g, int(ids[i]))
+        for j in range(len(ids)):
+            assert D[i, j] == pytest.approx(lengths[int(ids[j])])

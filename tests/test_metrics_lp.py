@@ -1,0 +1,177 @@
+"""Vector metrics: agreement with SciPy references, axioms, counters."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+from scipy.spatial.distance import cdist
+
+from repro.metrics import (
+    Chebyshev,
+    Cosine,
+    Euclidean,
+    Hamming,
+    Manhattan,
+    Minkowski,
+    SqEuclidean,
+    check_metric_axioms,
+    get_metric,
+)
+
+REFERENCE = [
+    (Euclidean, "euclidean", {}),
+    (SqEuclidean, "sqeuclidean", {}),
+    (Manhattan, "cityblock", {}),
+    (Chebyshev, "chebyshev", {}),
+]
+
+
+@pytest.mark.parametrize("cls,scipy_name,kwargs", REFERENCE)
+def test_matches_scipy(cls, scipy_name, kwargs, rng):
+    Q = rng.normal(size=(13, 5))
+    X = rng.normal(size=(29, 5))
+    D = cls(**kwargs).pairwise(Q, X)
+    np.testing.assert_allclose(D, cdist(Q, X, scipy_name), rtol=1e-10, atol=1e-8)
+
+
+def test_minkowski_matches_scipy(rng):
+    Q = rng.normal(size=(7, 4))
+    X = rng.normal(size=(11, 4))
+    D = Minkowski(p=3).pairwise(Q, X)
+    np.testing.assert_allclose(D, cdist(Q, X, "minkowski", p=3), rtol=1e-10)
+
+
+def test_minkowski_inf_is_chebyshev(rng):
+    Q = rng.normal(size=(5, 4))
+    X = rng.normal(size=(6, 4))
+    np.testing.assert_allclose(
+        Minkowski(p=np.inf).pairwise(Q, X), Chebyshev().pairwise(Q, X)
+    )
+
+
+def test_minkowski_rejects_p_below_one():
+    with pytest.raises(ValueError, match="p >= 1"):
+        Minkowski(p=0.5)
+
+
+def test_hamming_counts_mismatches():
+    Q = np.array([[0.0, 1.0, 2.0]])
+    X = np.array([[0.0, 1.0, 2.0], [1.0, 1.0, 2.0], [9.0, 9.0, 9.0]])
+    np.testing.assert_array_equal(Hamming().pairwise(Q, X), [[0.0, 1.0, 3.0]])
+
+
+def test_cosine_is_angle(rng):
+    q = np.array([[1.0, 0.0]])
+    x = np.array([[0.0, 1.0], [1.0, 0.0], [-1.0, 0.0]])
+    np.testing.assert_allclose(
+        Cosine().pairwise(q, x), [[np.pi / 2, 0.0, np.pi]], atol=1e-12
+    )
+
+
+def test_cosine_rejects_zero_vectors():
+    with pytest.raises(ValueError, match="zero"):
+        Cosine().pairwise(np.zeros((1, 3)), np.ones((2, 3)))
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["euclidean", "manhattan", "chebyshev", "angular", "hamming"],
+)
+def test_axioms_hold(name, rng):
+    X = rng.normal(size=(60, 5))
+    if name == "hamming":
+        X = np.round(X)
+    check_metric_axioms(get_metric(name), X, n_triples=80, rng=rng)
+
+
+def test_sqeuclidean_fails_triangle(rng):
+    # squared euclidean violates the triangle inequality: the axiom checker
+    # must catch it on colinear points
+    X = np.array([[0.0], [1.0], [2.0]])
+    with pytest.raises(AssertionError, match="triangle"):
+        check_metric_axioms(SqEuclidean(), X, n_triples=200, rng=rng)
+
+
+def test_sqeuclidean_flagged_not_true_metric():
+    assert SqEuclidean().is_true_metric is False
+    assert Euclidean().is_true_metric is True
+
+
+def test_counter_counts_every_pair(rng):
+    m = Euclidean()
+    m.pairwise(rng.normal(size=(4, 3)), rng.normal(size=(9, 3)))
+    assert m.counter.n_evals == 36
+    assert m.counter.n_calls == 1
+    m.pairwise(rng.normal(size=(2, 3)), rng.normal(size=(2, 3)))
+    assert m.counter.n_evals == 40
+    m.reset_counter()
+    assert m.counter.n_evals == 0
+
+
+def test_counter_snapshot_is_independent(rng):
+    m = Euclidean()
+    m.pairwise(rng.normal(size=(2, 2)), rng.normal(size=(2, 2)))
+    snap = m.counter.snapshot()
+    m.pairwise(rng.normal(size=(2, 2)), rng.normal(size=(2, 2)))
+    assert snap.n_evals == 4
+    assert m.counter.n_evals == 8
+
+
+def test_dimension_mismatch_raises(rng):
+    with pytest.raises(ValueError, match="dimension mismatch"):
+        Euclidean().pairwise(rng.normal(size=(2, 3)), rng.normal(size=(2, 4)))
+
+
+def test_distance_single_points():
+    m = Euclidean()
+    assert m.distance(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == pytest.approx(5.0)
+
+
+def test_take_subsets_rows(rng):
+    m = Euclidean()
+    X = rng.normal(size=(10, 3))
+    sub = m.take(X, [2, 5])
+    np.testing.assert_array_equal(sub, X[[2, 5]])
+    assert m.length(X) == 10
+    assert m.dim(X) == 3
+
+
+def test_euclidean_self_distance_zero(rng):
+    X = rng.normal(size=(50, 8)) * 100
+    D = Euclidean().pairwise(X, X)
+    np.testing.assert_allclose(np.diag(D), 0.0, atol=1e-5)
+
+
+def test_blocked_kernels_match_unblocked(rng, monkeypatch):
+    # force tiny blocks to exercise the blocked path
+    import repro.metrics.lp as lp
+
+    Q = rng.normal(size=(20, 4))
+    X = rng.normal(size=(30, 4))
+    expected = Manhattan().pairwise(Q, X)
+    monkeypatch.setattr(lp, "_BLOCK_ROWS", 3)
+    np.testing.assert_allclose(Manhattan().pairwise(Q, X), expected)
+
+
+FINITE = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays(np.float64, (3, 4), elements=FINITE))
+def test_property_symmetry_and_identity(pts):
+    m = Euclidean()
+    D = m.pairwise(pts, pts)
+    np.testing.assert_allclose(D, D.T, rtol=1e-7, atol=1e-6)
+    assert (np.diag(D) <= 1e-6 * (1 + np.abs(pts).max())).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays(np.float64, (3, 3), elements=FINITE))
+def test_property_triangle_inequality(pts):
+    for metric in (Euclidean(), Manhattan(), Chebyshev()):
+        D = metric.pairwise(pts, pts)
+        slack = 1e-7 * (1.0 + np.abs(D).max())
+        assert D[0, 1] <= D[0, 2] + D[2, 1] + slack

@@ -1,0 +1,67 @@
+"""Mahalanobis metric."""
+
+import numpy as np
+import pytest
+from scipy.spatial.distance import cdist
+
+from repro.core import ExactRBC
+from repro.eval import results_match_exactly
+from repro.metrics import Mahalanobis, check_metric_axioms
+from repro.parallel import bf_knn
+
+
+@pytest.fixture
+def VI(rng):
+    A = rng.normal(size=(5, 5))
+    return A @ A.T + 0.5 * np.eye(5)
+
+
+def test_matches_scipy(VI, rng):
+    Q = rng.normal(size=(8, 5))
+    X = rng.normal(size=(13, 5))
+    D = Mahalanobis(VI).pairwise(Q, X)
+    np.testing.assert_allclose(D, cdist(Q, X, "mahalanobis", VI=VI), rtol=1e-8)
+
+
+def test_identity_matrix_is_euclidean(rng):
+    Q = rng.normal(size=(4, 3))
+    X = rng.normal(size=(6, 3))
+    D = Mahalanobis(np.eye(3)).pairwise(Q, X)
+    np.testing.assert_allclose(D, cdist(Q, X, "euclidean"), atol=1e-9)
+
+
+def test_axioms(VI, rng):
+    X = rng.normal(size=(50, 5))
+    check_metric_axioms(Mahalanobis(VI), X, n_triples=60, rng=rng)
+
+
+def test_from_data_whitens(rng):
+    # strongly anisotropic data: Mahalanobis from the data's covariance
+    # should equalize a stretched axis
+    X = rng.normal(size=(500, 2)) * np.array([100.0, 1.0])
+    m = Mahalanobis.from_data(X)
+    a = m.pairwise(np.array([[0.0, 0.0]]), np.array([[100.0, 0.0]]))[0, 0]
+    b = m.pairwise(np.array([[0.0, 0.0]]), np.array([[0.0, 1.0]]))[0, 0]
+    assert a == pytest.approx(b, rel=0.2)
+
+
+def test_validation(rng):
+    with pytest.raises(ValueError, match="square"):
+        Mahalanobis(np.zeros((2, 3)))
+    with pytest.raises(ValueError, match="symmetric"):
+        Mahalanobis(np.array([[1.0, 2.0], [0.0, 1.0]]))
+    with pytest.raises(ValueError, match="positive definite"):
+        Mahalanobis(np.array([[1.0, 0.0], [0.0, -1.0]]))
+    m = Mahalanobis(np.eye(3))
+    with pytest.raises(ValueError, match="fitted for d=3"):
+        m.pairwise(rng.normal(size=(2, 4)), rng.normal(size=(2, 4)))
+
+
+def test_exact_rbc_under_mahalanobis(VI, rng):
+    X = rng.normal(size=(600, 5))
+    Q = rng.normal(size=(20, 5))
+    metric = Mahalanobis(VI)
+    true_d, _ = bf_knn(Q, X, metric, k=2)
+    rbc = ExactRBC(metric=Mahalanobis(VI), seed=0).build(X)
+    d, _ = rbc.query(Q, k=2)
+    assert results_match_exactly(d, true_d)

@@ -1,0 +1,62 @@
+"""Metric registry behaviour."""
+
+import pytest
+
+from repro.metrics import (
+    Euclidean,
+    Minkowski,
+    available_metrics,
+    get_metric,
+    register_metric,
+)
+
+
+def test_lookup_by_name():
+    assert isinstance(get_metric("euclidean"), Euclidean)
+    assert isinstance(get_metric("L2"), Euclidean)  # case-insensitive
+
+
+def test_each_call_returns_fresh_instance():
+    a = get_metric("euclidean")
+    b = get_metric("euclidean")
+    assert a is not b
+    a.counter.add(10)
+    assert b.counter.n_evals == 0
+
+
+def test_instance_passthrough():
+    m = Euclidean()
+    assert get_metric(m) is m
+
+
+def test_instance_with_kwargs_rejected():
+    with pytest.raises(ValueError, match="kwargs"):
+        get_metric(Euclidean(), p=2)
+
+
+def test_kwargs_forwarded():
+    m = get_metric("minkowski", p=4)
+    assert isinstance(m, Minkowski)
+    assert m.p == 4.0
+
+
+def test_unknown_name_lists_alternatives():
+    with pytest.raises(ValueError, match="euclidean"):
+        get_metric("nosuchmetric")
+
+
+def test_available_metrics_sorted_and_complete():
+    names = available_metrics()
+    assert names == sorted(names)
+    for expected in ("euclidean", "manhattan", "levenshtein", "angular"):
+        assert expected in names
+
+
+def test_register_custom_metric():
+    class MyMetric(Euclidean):
+        name = "custom-test-metric"
+
+    register_metric("custom-test-metric", MyMetric)
+    assert isinstance(get_metric("custom-test-metric"), MyMetric)
+    with pytest.raises(ValueError, match="already registered"):
+        register_metric("custom-test-metric", MyMetric)

@@ -1,0 +1,154 @@
+"""One-shot RBC search: probabilistic guarantees and structure."""
+
+import numpy as np
+import pytest
+
+from repro.core import OneShotRBC, oneshot_params
+from repro.eval import recall_at_k, results_match_exactly
+from repro.metrics import EditDistance
+from repro.parallel import bf_knn
+
+
+def test_full_lists_make_search_exact(small_vectors):
+    # s = n: every list is the whole database, so one-shot IS brute force
+    X, Q = small_vectors
+    true_d, _ = bf_knn(Q, X, k=3)
+    rbc = OneShotRBC(seed=0, rep_scheme="exact").build(X, n_reps=5, s=X.shape[0])
+    d, _ = rbc.query(Q, k=3)
+    assert results_match_exactly(d, true_d)
+
+
+def test_theorem2_success_probability(clustered):
+    """Theorem 2: with n_r = s = c sqrt(n ln 1/delta), P(exact NN) >= 1 - delta."""
+    X, Q = clustered
+    n = X.shape[0]
+    delta = 0.1
+    # modest c; the data has low intrinsic dimension
+    nr, s = oneshot_params(n, c=2.0, delta=delta)
+    rbc = OneShotRBC(seed=0).build(X, n_reps=nr, s=s)
+    d, i = rbc.query(Q, k=1)
+    true_d, _ = bf_knn(Q, X, k=1)
+    success = np.isclose(d[:, 0], true_d[:, 0], rtol=1e-9, atol=1e-9).mean()
+    assert success >= 1.0 - delta
+
+
+def test_returned_point_is_from_chosen_list(small_vectors):
+    X, Q = small_vectors
+    rbc = OneShotRBC(seed=0, rep_scheme="exact").build(X, n_reps=8, s=40)
+    d, i = rbc.query(Q, k=1)
+    _, rep_local = bf_knn(Q, rbc.rep_data, rbc.metric, k=1)
+    for r in range(Q.shape[0]):
+        assert i[r, 0] in rbc.lists[rep_local[r, 0]]
+
+
+def test_returned_distances_are_real(small_vectors):
+    X, Q = small_vectors
+    rbc = OneShotRBC(seed=0).build(X, n_reps=30, s=30)
+    d, i = rbc.query(Q, k=2)
+    m = rbc.metric
+    for r in range(Q.shape[0]):
+        for c in range(2):
+            if i[r, c] >= 0:
+                assert d[r, c] == pytest.approx(
+                    m.pairwise(Q[r : r + 1], X[i[r, c]][None])[0, 0], abs=1e-9
+                )
+
+
+def test_larger_s_improves_quality(clustered):
+    X, Q = clustered
+    true_d, _ = bf_knn(Q, X, k=1)
+
+    def err(s):
+        rbc = OneShotRBC(seed=0, rep_scheme="exact").build(X, n_reps=60, s=s)
+        d, _ = rbc.query(Q, k=1)
+        return float(np.mean(d[:, 0] - true_d[:, 0]))
+
+    assert err(400) <= err(10) + 1e-12
+
+
+def test_multi_probe_improves_recall(clustered):
+    X, Q = clustered
+    _, true_i = bf_knn(Q, X, k=5)
+    rbc = OneShotRBC(seed=0, rep_scheme="exact").build(X, n_reps=80, s=30)
+    _, i1 = rbc.query(Q, k=5, n_probes=1)
+    _, i3 = rbc.query(Q, k=5, n_probes=3)
+    assert recall_at_k(i3, true_i) >= recall_at_k(i1, true_i)
+
+
+def test_multi_probe_no_duplicate_results(small_vectors):
+    X, Q = small_vectors
+    rbc = OneShotRBC(seed=0, rep_scheme="exact").build(X, n_reps=20, s=50)
+    _, i = rbc.query(Q, k=5, n_probes=4)
+    for row in i:
+        real = [x for x in row if x >= 0]
+        assert len(real) == len(set(real))
+
+
+def test_probes_capped_at_reps(small_vectors):
+    X, Q = small_vectors
+    rbc = OneShotRBC(seed=0, rep_scheme="exact").build(X, n_reps=3, s=20)
+    d, i = rbc.query(Q, k=1, n_probes=10)  # silently capped to 3
+    assert np.isfinite(d[:, 0]).all()
+
+
+def test_work_is_nr_plus_s(small_vectors):
+    X, Q = small_vectors
+    rbc = OneShotRBC(seed=0, rep_scheme="exact").build(X, n_reps=16, s=25)
+    rbc.query(Q, k=1)
+    st = rbc.last_stats
+    assert st.stage1_evals == Q.shape[0] * 16
+    assert st.stage2_evals == Q.shape[0] * 25
+    assert st.per_query_evals() == pytest.approx(41.0)
+
+
+def test_default_params_used(small_vectors):
+    X, Q = small_vectors
+    rbc = OneShotRBC(seed=0).build(X, delta=0.2, c=1.0)
+    nr, s = oneshot_params(X.shape[0], c=1.0, delta=0.2)
+    assert rbc.s == s
+    d, i = rbc.query(Q)
+    assert d.shape == (Q.shape[0], 1)
+
+
+def test_k_larger_than_s_pads(small_vectors):
+    X, Q = small_vectors
+    rbc = OneShotRBC(seed=0, rep_scheme="exact").build(X, n_reps=10, s=3)
+    d, i = rbc.query(Q, k=6)
+    assert np.isfinite(d[:, :3]).all()
+    assert np.isinf(d[:, 3:]).all()
+
+
+def test_single_query(small_vectors):
+    X, _ = small_vectors
+    rbc = OneShotRBC(seed=0).build(X)
+    d, i = rbc.query(X[7], k=1)
+    assert i[0, 0] == 7
+    assert d[0, 0] == pytest.approx(0.0, abs=1e-6)
+
+
+def test_validation(small_vectors):
+    X, Q = small_vectors
+    rbc = OneShotRBC(seed=0).build(X)
+    with pytest.raises(ValueError):
+        rbc.query(Q, k=0)
+    with pytest.raises(ValueError):
+        rbc.query(Q, k=1, n_probes=0)
+
+
+def test_oneshot_on_strings():
+    from repro.data import random_strings
+
+    S = random_strings(400, seed=0)
+    rbc = OneShotRBC(metric=EditDistance(), seed=0).build(S, n_reps=40, s=160)
+    d, i = rbc.query(S[:20], k=1)
+    # querying database strings: one-shot finds an exact (distance 0) match
+    # whenever the string lands in its chosen representative's list; edit
+    # distance is heavily tied, so expect most-but-not-all successes
+    assert (d[:, 0] == 0).mean() >= 0.7
+
+
+def test_deterministic_given_seed(small_vectors):
+    X, Q = small_vectors
+    d1, i1 = OneShotRBC(seed=9).build(X).query(Q, k=2)
+    d2, i2 = OneShotRBC(seed=9).build(X).query(Q, k=2)
+    np.testing.assert_array_equal(i1, i2)

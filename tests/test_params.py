@@ -1,0 +1,54 @@
+"""Parameter rules from the theory section."""
+
+import math
+
+import pytest
+
+from repro.core import clip_reps, oneshot_params, standard_n_reps
+
+
+def test_standard_setting_sqrt_n():
+    assert standard_n_reps(10_000) == 100
+    assert standard_n_reps(1_000_000) == 1000
+
+
+def test_standard_setting_scales_with_c():
+    # n_r = c^{3/2} sqrt(n)
+    assert standard_n_reps(10_000, c=4.0) == pytest.approx(8 * 100, abs=1)
+
+
+def test_standard_setting_clipped_to_n():
+    assert standard_n_reps(10, c=100.0) == 10
+
+
+def test_standard_setting_rejects_c_below_one():
+    with pytest.raises(ValueError):
+        standard_n_reps(100, c=0.5)
+
+
+def test_oneshot_params_formula():
+    nr, s = oneshot_params(10_000, c=1.0, delta=math.exp(-1))
+    assert nr == s == 100  # c sqrt(n * 1)
+
+
+def test_oneshot_params_grow_with_confidence():
+    lo, _ = oneshot_params(10_000, delta=0.5)
+    hi, _ = oneshot_params(10_000, delta=0.001)
+    assert hi > lo
+
+
+def test_oneshot_params_validation():
+    with pytest.raises(ValueError):
+        oneshot_params(100, delta=0.0)
+    with pytest.raises(ValueError):
+        oneshot_params(100, delta=1.0)
+    with pytest.raises(ValueError):
+        oneshot_params(100, c=0.2)
+
+
+def test_clip_reps():
+    assert clip_reps(0.2, 100) == 1
+    assert clip_reps(1e9, 100) == 100
+    assert clip_reps(17.4, 100) == 17
+    with pytest.raises(ValueError):
+        clip_reps(10, 0)

@@ -1,0 +1,76 @@
+"""ASCII figure rendering."""
+
+import pytest
+
+from repro.eval.plots import ascii_plot
+
+
+def test_single_series_renders():
+    out = ascii_plot(
+        {"a": [(1, 1), (2, 4), (3, 9)]},
+        xlabel="x",
+        ylabel="y",
+        title="squares",
+    )
+    lines = out.splitlines()
+    assert lines[0] == "squares"
+    assert "o a" in lines[-1]
+    assert out.count("o") >= 3  # all three points drawn (plus legend)
+
+
+def test_extremes_land_on_corners():
+    out = ascii_plot({"s": [(0, 0), (10, 10)]}, width=20, height=6)
+    lines = [l for l in out.splitlines() if "|" in l]
+    assert lines[0].rstrip().endswith("o")  # max point at top-right
+    # min point at bottom-left of the plot area
+    assert lines[-1].split("|")[1][0] == "o"
+
+
+def test_log_axes_positive_only():
+    with pytest.raises(ValueError, match="positive"):
+        ascii_plot({"s": [(0.0, 1.0)]}, logx=True)
+    with pytest.raises(ValueError, match="positive"):
+        ascii_plot({"s": [(1.0, -2.0)]}, logy=True)
+
+
+def test_loglog_line_is_straightish():
+    # y = x^2 on log-log is a straight line: column/row steps are uniform
+    pts = [(10.0**i, 10.0 ** (2 * i)) for i in range(5)]
+    out = ascii_plot({"s": pts}, logx=True, logy=True, width=41, height=21)
+    cells = []
+    for r, line in enumerate(l for l in out.splitlines() if "|" in l):
+        body = line.split("|", 1)[1]
+        for c, ch in enumerate(body):
+            if ch == "o":
+                cells.append((r, c))
+    assert len(cells) == 5
+    rows = sorted(r for r, _ in cells)
+    diffs = {b - a for a, b in zip(rows, rows[1:])}
+    assert len(diffs) == 1  # uniform spacing = straight line
+
+
+def test_multiple_series_distinct_markers():
+    out = ascii_plot({"a": [(0, 0)], "b": [(1, 1)], "c": [(2, 2)]})
+    assert "o a" in out and "x b" in out and "+ c" in out
+
+
+def test_axis_labels_present():
+    out = ascii_plot(
+        {"s": [(1, 2), (3, 4)]}, xlabel="rank", ylabel="speedup"
+    )
+    assert "rank" in out
+    assert "speedup" in out
+
+
+def test_degenerate_single_point():
+    out = ascii_plot({"s": [(5, 5)]})
+    assert "o" in out
+
+
+def test_validation():
+    with pytest.raises(ValueError, match="nothing"):
+        ascii_plot({})
+    with pytest.raises(ValueError, match="nothing"):
+        ascii_plot({"s": []})
+    with pytest.raises(ValueError, match="small"):
+        ascii_plot({"s": [(0, 0)]}, width=4)

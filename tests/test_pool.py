@@ -1,0 +1,95 @@
+"""Executors and shared-memory arrays."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    ProcessExecutor,
+    SerialExecutor,
+    SharedArray,
+    ThreadExecutor,
+    default_workers,
+    get_executor,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def test_serial_map_order():
+    ex = SerialExecutor()
+    assert ex.map(_square, range(5)) == [0, 1, 4, 9, 16]
+    assert ex.n_workers == 1
+
+
+def test_thread_map_order():
+    with ThreadExecutor(3) as ex:
+        assert ex.map(_square, range(20)) == [x * x for x in range(20)]
+        assert ex.n_workers == 3
+
+
+def test_process_map_order():
+    with ProcessExecutor(2) as ex:
+        assert ex.map(_square, range(8)) == [x * x for x in range(8)]
+
+
+def test_default_workers_positive():
+    assert default_workers() >= 1
+
+
+def test_get_executor_specs():
+    assert isinstance(get_executor(None), SerialExecutor)
+    assert isinstance(get_executor("serial"), SerialExecutor)
+    ex = get_executor("threads", 2)
+    try:
+        assert isinstance(ex, ThreadExecutor)
+    finally:
+        ex.close()
+    inst = SerialExecutor()
+    assert get_executor(inst) is inst
+    with pytest.raises(ValueError):
+        get_executor("gpu")
+
+
+def test_shared_array_roundtrip(rng):
+    arr = rng.normal(size=(13, 4))
+    handle = SharedArray.from_array(arr)
+    try:
+        view = handle.open()
+        np.testing.assert_array_equal(view, arr)
+    finally:
+        handle.unlink()
+
+
+def test_shared_array_pickles_without_buffer(rng):
+    import pickle
+
+    arr = rng.normal(size=(3, 3))
+    handle = SharedArray.from_array(arr)
+    try:
+        clone = pickle.loads(pickle.dumps(handle))
+        assert clone.name == handle.name
+        np.testing.assert_array_equal(clone.open(), arr)
+        clone.close()
+    finally:
+        handle.unlink()
+
+
+def _read_shared(args):
+    handle, row = args
+    view = handle.open()
+    out = float(view[row].sum())
+    handle.close()
+    return out
+
+
+def test_shared_array_visible_across_processes(rng):
+    arr = rng.normal(size=(4, 8))
+    handle = SharedArray.from_array(arr)
+    try:
+        with ProcessExecutor(2) as ex:
+            sums = ex.map(_read_shared, [(handle, r) for r in range(4)])
+        np.testing.assert_allclose(sums, arr.sum(axis=1))
+    finally:
+        handle.unlink()

@@ -1,0 +1,102 @@
+"""Data preprocessing utilities."""
+
+import numpy as np
+import pytest
+
+from repro.data.preprocess import (
+    Standardizer,
+    split_database_queries,
+    unit_normalize,
+)
+
+
+def test_standardizer_zero_mean_unit_var(rng):
+    X = rng.normal(size=(200, 4)) * [1, 10, 100, 1000] + [5, -3, 0, 99]
+    s = Standardizer.fit(X)
+    Z = s.transform(X)
+    np.testing.assert_allclose(Z.mean(axis=0), 0.0, atol=1e-10)
+    np.testing.assert_allclose(Z.std(axis=0), 1.0, atol=1e-10)
+
+
+def test_standardizer_applies_database_statistics_to_queries(rng):
+    # queries must be transformed with the DATABASE's mean/std (using
+    # query statistics would silently change the metric)
+    X = rng.normal(size=(100, 3)) * 7 + 2
+    Q = rng.normal(size=(10, 3)) * 50 - 4  # deliberately different stats
+    s = Standardizer.fit(X)
+    np.testing.assert_allclose(
+        s.transform(Q), (Q - X.mean(axis=0)) / X.std(axis=0)
+    )
+
+
+def test_standardized_euclidean_is_diagonal_mahalanobis(rng):
+    from repro.metrics import Euclidean, Mahalanobis
+
+    X = rng.normal(size=(80, 3)) * [1, 10, 100]
+    Q = rng.normal(size=(5, 3)) * [1, 10, 100]
+    s = Standardizer.fit(X)
+    D_std = Euclidean().pairwise(s.transform(Q), s.transform(X))
+    VI = np.diag(1.0 / s.std**2)
+    D_mah = Mahalanobis(VI).pairwise(Q, X)
+    np.testing.assert_allclose(D_std, D_mah, rtol=1e-8, atol=1e-8)
+
+
+def test_standardizer_constant_feature(rng):
+    X = rng.normal(size=(50, 2))
+    X[:, 1] = 7.0
+    Z = Standardizer.fit(X).transform(X)
+    assert np.isfinite(Z).all()
+    np.testing.assert_allclose(Z[:, 1], 0.0)
+
+
+def test_standardizer_roundtrip(rng):
+    X = rng.normal(size=(60, 3)) * 5 + 1
+    s = Standardizer.fit(X)
+    np.testing.assert_allclose(s.inverse_transform(s.transform(X)), X)
+
+
+def test_standardizer_validation(rng):
+    with pytest.raises(ValueError, match="at least 2"):
+        Standardizer.fit(np.zeros((1, 3)))
+    s = Standardizer.fit(rng.normal(size=(10, 3)))
+    with pytest.raises(ValueError, match="fitted for d=3"):
+        s.transform(rng.normal(size=(2, 4)))
+
+
+def test_fit_transform(rng):
+    X = rng.normal(size=(40, 2)) + 9
+    s = Standardizer(mean=np.zeros(2), std=np.ones(2))
+    Z = s.fit_transform(X)
+    np.testing.assert_allclose(Z.mean(axis=0), 0.0, atol=1e-10)
+
+
+def test_unit_normalize(rng):
+    X = rng.normal(size=(30, 5)) * 100
+    U = unit_normalize(X)
+    np.testing.assert_allclose(np.linalg.norm(U, axis=1), 1.0)
+    with pytest.raises(ValueError, match="zero"):
+        unit_normalize(np.zeros((2, 3)))
+
+
+def test_split_disjoint_and_complete(rng):
+    X = rng.normal(size=(100, 2))
+    db, q = split_database_queries(X, 25, seed=3)
+    assert db.shape == (75, 2)
+    assert q.shape == (25, 2)
+    combined = np.vstack([db, q])
+    assert sorted(map(tuple, combined)) == sorted(map(tuple, X))
+
+
+def test_split_deterministic(rng):
+    X = rng.normal(size=(50, 2))
+    a = split_database_queries(X, 10, seed=1)
+    b = split_database_queries(X, 10, seed=1)
+    np.testing.assert_array_equal(a[0], b[0])
+
+
+def test_split_validation(rng):
+    X = rng.normal(size=(10, 2))
+    with pytest.raises(ValueError):
+        split_database_queries(X, 0)
+    with pytest.raises(ValueError):
+        split_database_queries(X, 10)

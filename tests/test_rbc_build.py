@@ -1,0 +1,157 @@
+"""RBC construction invariants for both build variants."""
+
+import numpy as np
+import pytest
+
+from repro.core import ExactRBC, OneShotRBC, sample_representatives
+from repro.metrics import get_metric
+
+
+def test_sample_bernoulli_expected_count(rng):
+    sizes = [
+        sample_representatives(10_000, 500, rng, scheme="bernoulli").size
+        for _ in range(20)
+    ]
+    assert 350 < np.mean(sizes) < 650  # mean 500, sd ~22
+
+
+def test_sample_bernoulli_never_empty(rng):
+    for _ in range(50):
+        ids = sample_representatives(50, 1, rng, scheme="bernoulli")
+        assert ids.size >= 1
+
+
+def test_sample_exact_count(rng):
+    ids = sample_representatives(1000, 37, rng, scheme="exact")
+    assert ids.size == 37
+    assert np.unique(ids).size == 37
+    assert ids.min() >= 0 and ids.max() < 1000
+
+
+def test_sample_validation(rng):
+    with pytest.raises(ValueError):
+        sample_representatives(10, 0, rng)
+    with pytest.raises(ValueError):
+        sample_representatives(10, 11, rng)
+    with pytest.raises(ValueError):
+        sample_representatives(10, 5, rng, scheme="nope")
+
+
+def test_exact_build_lists_partition_database(small_vectors):
+    X, _ = small_vectors
+    rbc = ExactRBC(seed=0, rep_scheme="exact").build(X, n_reps=20)
+    all_ids = np.concatenate(rbc.lists)
+    assert all_ids.size == X.shape[0]
+    assert np.array_equal(np.sort(all_ids), np.arange(X.shape[0]))
+
+
+def test_exact_build_assigns_to_nearest_rep(small_vectors):
+    X, _ = small_vectors
+    rbc = ExactRBC(seed=0, rep_scheme="exact").build(X, n_reps=15)
+    m = rbc.metric
+    D = m.pairwise(X, rbc.rep_data)
+    nearest = D.min(axis=1)
+    for j, lst in enumerate(rbc.lists):
+        for x_id in lst:
+            assert D[x_id, j] == pytest.approx(nearest[x_id], abs=1e-9)
+
+
+def test_lists_sorted_and_radii_match(small_vectors):
+    X, _ = small_vectors
+    for rbc in (
+        ExactRBC(seed=1, rep_scheme="exact").build(X, n_reps=12),
+        OneShotRBC(seed=1, rep_scheme="exact").build(X, n_reps=12, s=30),
+    ):
+        for dists, radius in zip(rbc.list_dists, rbc.radii):
+            if dists.size:
+                assert (np.diff(dists) >= 0).all()
+                assert radius == pytest.approx(dists.max())
+
+
+def test_oneshot_lists_have_size_s(small_vectors):
+    X, _ = small_vectors
+    rbc = OneShotRBC(seed=0, rep_scheme="exact").build(X, n_reps=10, s=25)
+    for lst in rbc.lists:
+        assert lst.size == 25
+
+
+def test_oneshot_lists_are_true_neighbors(small_vectors):
+    X, _ = small_vectors
+    rbc = OneShotRBC(seed=0, rep_scheme="exact").build(X, n_reps=8, s=10)
+    m = rbc.metric
+    D = m.pairwise(rbc.rep_data, X)
+    for j in range(rbc.n_reps):
+        true_set_d = np.sort(D[j])[:10]
+        np.testing.assert_allclose(np.sort(rbc.list_dists[j]), true_set_d)
+
+
+def test_rep_owns_itself_exact(small_vectors):
+    X, _ = small_vectors
+    rbc = ExactRBC(seed=0, rep_scheme="exact").build(X, n_reps=10)
+    for j, rep_id in enumerate(rbc.rep_ids):
+        assert rep_id in rbc.lists[j]
+
+
+def test_build_counts_evals(small_vectors):
+    X, _ = small_vectors
+    rbc = ExactRBC(seed=0, rep_scheme="exact").build(X, n_reps=10)
+    # BF(X, R): n * n_reps evaluations
+    assert rbc.build_stats.build_evals == X.shape[0] * rbc.n_reps
+
+
+def test_build_deterministic_given_seed(small_vectors):
+    X, _ = small_vectors
+    a = ExactRBC(seed=42).build(X)
+    b = ExactRBC(seed=42).build(X)
+    np.testing.assert_array_equal(a.rep_ids, b.rep_ids)
+    for la, lb in zip(a.lists, b.lists):
+        np.testing.assert_array_equal(la, lb)
+
+
+def test_query_before_build_raises():
+    with pytest.raises(RuntimeError, match="build"):
+        ExactRBC().query(np.zeros((1, 2)))
+
+
+def test_empty_database_raises():
+    with pytest.raises(ValueError, match="empty"):
+        ExactRBC().build(np.empty((0, 3)))
+    with pytest.raises(ValueError, match="empty"):
+        OneShotRBC().build(np.empty((0, 3)))
+
+
+def test_exact_rejects_non_metric(small_vectors):
+    X, _ = small_vectors
+    with pytest.raises(ValueError, match="triangle"):
+        ExactRBC(metric="sqeuclidean").build(X)
+
+
+def test_oneshot_s_validation(small_vectors):
+    X, _ = small_vectors
+    with pytest.raises(ValueError, match="s"):
+        OneShotRBC(seed=0).build(X, n_reps=5, s=0)
+    with pytest.raises(ValueError, match="s"):
+        OneShotRBC(seed=0).build(X, n_reps=5, s=X.shape[0] + 1)
+
+
+def test_memory_footprint_positive(small_vectors):
+    X, _ = small_vectors
+    rbc = ExactRBC(seed=0).build(X)
+    assert rbc.memory_footprint() > 0
+
+
+def test_build_stats_list_summary(small_vectors):
+    X, _ = small_vectors
+    rbc = ExactRBC(seed=0, rep_scheme="exact").build(X, n_reps=10)
+    bs = rbc.build_stats
+    assert bs.n_points == X.shape[0]
+    assert bs.n_reps == 10
+    assert bs.max_list >= bs.mean_list > 0
+
+
+def test_repr_mentions_state(small_vectors):
+    X, _ = small_vectors
+    rbc = ExactRBC(seed=0)
+    assert "unbuilt" in repr(rbc)
+    rbc.build(X)
+    assert f"n={X.shape[0]}" in repr(rbc)

@@ -1,0 +1,172 @@
+"""Parallel-reduce building blocks: top-k selection and tree merging."""
+
+import functools
+import operator
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.parallel import (
+    EMPTY_IDX,
+    SerialExecutor,
+    ThreadExecutor,
+    merge_topk,
+    topk_of_block,
+    tree_reduce,
+)
+from repro.parallel.reduce import dedupe_rows
+
+
+def brute_topk(D, k):
+    order = np.argsort(D, axis=1, kind="stable")[:, :k]
+    return np.take_along_axis(D, order, axis=1), order
+
+
+def test_topk_matches_argsort(rng):
+    D = rng.normal(size=(6, 20))
+    d, i = topk_of_block(D, 4)
+    ed, ei = brute_topk(D, 4)
+    np.testing.assert_allclose(d, ed)
+    # validate by value (ties may permute indices)
+    np.testing.assert_allclose(np.take_along_axis(D, i, axis=1), ed)
+
+
+def test_topk_k_equals_n(rng):
+    D = rng.normal(size=(3, 5))
+    d, i = topk_of_block(D, 5)
+    np.testing.assert_allclose(d, np.sort(D, axis=1))
+
+
+def test_topk_pads_when_k_exceeds_n(rng):
+    D = rng.normal(size=(2, 3))
+    d, i = topk_of_block(D, 5)
+    assert d.shape == (2, 5)
+    assert np.isinf(d[:, 3:]).all()
+    assert (i[:, 3:] == EMPTY_IDX).all()
+
+
+def test_topk_col_offset(rng):
+    D = rng.normal(size=(2, 4))
+    _, i = topk_of_block(D, 2, col_offset=100)
+    assert (i >= 100).all()
+
+
+def test_topk_rejects_bad_k(rng):
+    with pytest.raises(ValueError):
+        topk_of_block(rng.normal(size=(2, 3)), 0)
+
+
+def test_merge_topk_keeps_global_best(rng):
+    D = rng.normal(size=(5, 30))
+    a = topk_of_block(D[:, :15], 4)
+    b = topk_of_block(D[:, 15:], 4, col_offset=15)
+    d, i = merge_topk(a, b)
+    ed, _ = brute_topk(D, 4)
+    np.testing.assert_allclose(d, ed)
+
+
+def test_merge_topk_handles_padding(rng):
+    D = rng.normal(size=(2, 2))
+    a = topk_of_block(D, 5)  # padded
+    b = topk_of_block(D + 10, 5)
+    d, i = merge_topk(a, b)
+    assert np.isfinite(d[:, :4]).all()
+    assert np.isinf(d[:, 4]).all()
+
+
+def test_merge_topk_shape_mismatch():
+    a = (np.zeros((2, 3)), np.zeros((2, 3), dtype=np.int64))
+    b = (np.zeros((2, 4)), np.zeros((2, 4), dtype=np.int64))
+    with pytest.raises(ValueError):
+        merge_topk(a, b)
+
+
+def test_tree_reduce_matches_linear_reduce():
+    items = list(range(1, 20))
+    assert tree_reduce(items, operator.add) == functools.reduce(operator.add, items)
+
+
+def test_tree_reduce_single_item():
+    assert tree_reduce([42], operator.add) == 42
+
+
+def test_tree_reduce_empty_raises():
+    with pytest.raises(ValueError):
+        tree_reduce([], operator.add)
+
+
+def test_tree_reduce_preserves_operand_order():
+    # non-commutative merge: string concatenation order must be stable
+    items = list("abcdefg")
+    out = tree_reduce(items, operator.add)
+    assert sorted(out) == sorted("abcdefg")
+    assert out == "abcdefg"  # tree reduce keeps left-to-right order
+
+
+def test_tree_reduce_with_executor():
+    ex = ThreadExecutor(2)
+    try:
+        assert tree_reduce(list(range(50)), operator.add, executor=ex) == sum(
+            range(50)
+        )
+    finally:
+        ex.close()
+
+
+def test_tree_reduce_equals_serial_for_topk(rng):
+    D = rng.normal(size=(4, 64))
+    parts = [
+        topk_of_block(D[:, j : j + 8], 3, col_offset=j) for j in range(0, 64, 8)
+    ]
+    d_tree, _ = tree_reduce(parts, merge_topk)
+    ed, _ = brute_topk(D, 3)
+    np.testing.assert_allclose(d_tree, ed)
+
+
+def test_dedupe_rows_basic():
+    d = np.array([[1.0, 1.0, 2.0, np.inf]])
+    i = np.array([[7, 7, 9, EMPTY_IDX]])
+    dd, ii = dedupe_rows(d, i, 3)
+    np.testing.assert_array_equal(ii, [[7, 9, EMPTY_IDX]])
+    np.testing.assert_allclose(dd[0, :2], [1.0, 2.0])
+
+
+def test_dedupe_rows_no_duplicates_passthrough(rng):
+    d = np.sort(rng.normal(size=(3, 4)), axis=1)
+    i = np.arange(12).reshape(3, 4)
+    dd, ii = dedupe_rows(d, i, 4)
+    np.testing.assert_allclose(dd, d)
+    np.testing.assert_array_equal(ii, i)
+
+
+FINITE = st.floats(min_value=-100, max_value=100, allow_nan=False)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays(np.float64, (3, 12), elements=FINITE), st.integers(1, 6))
+def test_property_split_merge_equals_direct(D, k):
+    direct_d, _ = topk_of_block(D, k)
+    a = topk_of_block(D[:, :5], k)
+    b = topk_of_block(D[:, 5:], k, col_offset=5)
+    merged_d, merged_i = merge_topk(a, b)
+    np.testing.assert_allclose(merged_d, direct_d)
+    # indices are consistent: looking up the merged indices reproduces dists
+    for r in range(3):
+        for c in range(k):
+            if merged_i[r, c] != EMPTY_IDX:
+                assert D[r, merged_i[r, c]] == merged_d[r, c]
+
+
+@settings(max_examples=30, deadline=None)
+@given(arrays(np.float64, (2, 9), elements=FINITE))
+def test_property_merge_associative(D):
+    k = 3
+    a = topk_of_block(D[:, :3], k)
+    b = topk_of_block(D[:, 3:6], k, col_offset=3)
+    c = topk_of_block(D[:, 6:], k, col_offset=6)
+    left = merge_topk(merge_topk(a, b), c)
+    right = merge_topk(a, merge_topk(b, c))
+    np.testing.assert_allclose(left[0], right[0])

@@ -1,0 +1,70 @@
+"""Work-distribution policies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel import lpt_assign, makespan, static_assign
+
+
+def _is_partition(assignment, n_tasks):
+    seen = sorted(i for tasks in assignment for i in tasks)
+    return seen == list(range(n_tasks))
+
+
+def test_static_assign_partition_and_balance():
+    a = static_assign(10, 3)
+    assert _is_partition(a, 10)
+    sizes = [len(t) for t in a]
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_static_assign_more_workers_than_tasks():
+    a = static_assign(2, 5)
+    assert _is_partition(a, 2)
+    assert sum(1 for t in a if t) == 2
+
+
+def test_static_assign_rejects_zero_workers():
+    with pytest.raises(ValueError):
+        static_assign(5, 0)
+
+
+def test_lpt_assign_partition():
+    costs = [5.0, 1.0, 1.0, 1.0, 1.0, 1.0]
+    a = lpt_assign(costs, 2)
+    assert _is_partition(a, 6)
+
+
+def test_lpt_beats_static_on_skewed_costs():
+    # one huge task first: static puts it with other work, LPT isolates it
+    costs = [10.0, 10.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]
+    stat = makespan(static_assign(len(costs), 2), costs)
+    lpt = makespan(lpt_assign(costs, 2), costs)
+    assert lpt <= stat
+
+
+def test_makespan_simple():
+    assert makespan([[0, 1], [2]], [2.0, 3.0, 4.0]) == 5.0
+    assert makespan([], []) == 0.0
+
+
+def test_lpt_rejects_zero_workers():
+    with pytest.raises(ValueError):
+        lpt_assign([1.0], 0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.floats(min_value=0.1, max_value=100), min_size=1, max_size=40),
+    st.integers(min_value=1, max_value=8),
+)
+def test_property_lpt_partition_and_bound(costs, w):
+    a = lpt_assign(costs, w)
+    assert _is_partition(a, len(costs))
+    # LPT is a 4/3-approximation: makespan <= 4/3 * OPT + largest;
+    # check the weaker certified bound: max(avg, max_cost) <= makespan
+    ms = makespan(a, costs)
+    lower = max(sum(costs) / w, max(costs))
+    assert ms >= lower - 1e-9
+    assert ms <= lower * (4.0 / 3.0) + max(costs) + 1e-9

@@ -1,0 +1,71 @@
+"""Index persistence (save_index / load_index)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ExactRBC, OneShotRBC, load_index, save_index
+from repro.metrics import EditDistance
+
+
+def test_exact_roundtrip(small_vectors, tmp_path):
+    X, Q = small_vectors
+    orig = ExactRBC(seed=0, rep_scheme="exact").build(X, n_reps=15)
+    d0, i0 = orig.query(Q, k=3)
+    path = tmp_path / "exact.npz"
+    save_index(orig, path)
+    clone = load_index(path)
+    assert isinstance(clone, ExactRBC)
+    d1, i1 = clone.query(Q, k=3)
+    np.testing.assert_allclose(d1, d0)
+    np.testing.assert_array_equal(i1, i0)
+
+
+def test_oneshot_roundtrip(small_vectors, tmp_path):
+    X, Q = small_vectors
+    orig = OneShotRBC(seed=0, rep_scheme="exact").build(X, n_reps=10, s=30)
+    d0, i0 = orig.query(Q, k=2)
+    path = tmp_path / "oneshot.npz"
+    save_index(orig, path)
+    clone = load_index(path)
+    assert isinstance(clone, OneShotRBC)
+    assert clone.s == 30
+    d1, i1 = clone.query(Q, k=2)
+    np.testing.assert_allclose(d1, d0)
+    np.testing.assert_array_equal(i1, i0)
+
+
+def test_roundtrip_preserves_structure(small_vectors, tmp_path):
+    X, _ = small_vectors
+    orig = ExactRBC(metric="manhattan", seed=3).build(X, n_reps=12)
+    path = tmp_path / "idx.npz"
+    save_index(orig, path)
+    clone = load_index(path)
+    assert clone.metric.name == "manhattan"
+    np.testing.assert_array_equal(clone.rep_ids, orig.rep_ids)
+    np.testing.assert_allclose(clone.radii, orig.radii)
+    for a, b in zip(clone.lists, orig.lists):
+        np.testing.assert_array_equal(a, b)
+
+
+def test_unbuilt_rejected(tmp_path):
+    with pytest.raises(ValueError, match="unbuilt"):
+        save_index(ExactRBC(), tmp_path / "x.npz")
+
+
+def test_string_database_rejected(tmp_path):
+    from repro.data import random_strings
+
+    idx = ExactRBC(metric=EditDistance(), seed=0).build(random_strings(80))
+    with pytest.raises(ValueError, match="ndarray"):
+        save_index(idx, tmp_path / "x.npz")
+
+
+def test_empty_lists_roundtrip(tmp_path, rng):
+    # nearly-duplicate databases produce reps that own nothing
+    X = np.repeat(rng.normal(size=(3, 2)), 20, axis=0)
+    orig = ExactRBC(seed=0, rep_scheme="exact").build(X, n_reps=5)
+    path = tmp_path / "dups.npz"
+    save_index(orig, path)
+    clone = load_index(path)
+    d, i = clone.query(X[:2], k=1)
+    assert (d[:, 0] < 1e-9).all()

@@ -1,0 +1,122 @@
+"""Property-based tests of the machine-model invariants.
+
+The machine models back every figure reproduction, so their algebra gets
+the same scrutiny as the search algorithms: speedups bounded by core
+counts, monotonicity in work, conservation of busy time, chain semantics.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulator import (
+    DESKTOP_QUAD,
+    MachineSpec,
+    Op,
+    Phase,
+    Trace,
+    simulate,
+    with_cores,
+)
+
+FLOPS = st.floats(min_value=1e3, max_value=1e9)
+
+
+def flat_machine(cores: int) -> MachineSpec:
+    return MachineSpec(
+        name="flat", cores=cores, simd_lanes=1, flops_per_cycle_per_lane=1.0,
+        ghz=1.0, mem_bandwidth_gbs=1e6, sync_overhead_us=0.0,
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(FLOPS, min_size=1, max_size=30), st.integers(1, 16))
+def test_property_speedup_bounded_by_cores(flops_list, cores):
+    trace = Trace([Phase("p", [Op("gemm", f) for f in flops_list])])
+    t1 = simulate(trace, flat_machine(1)).time_s
+    tc = simulate(trace, flat_machine(cores)).time_s
+    assert tc <= t1 + 1e-12
+    assert t1 / tc <= cores + 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(FLOPS, min_size=1, max_size=30), st.integers(1, 16))
+def test_property_makespan_at_least_critical_path(flops_list, cores):
+    trace = Trace([Phase("p", [Op("gemm", f) for f in flops_list])])
+    res = simulate(trace, flat_machine(cores))
+    # no schedule beats the largest op or the perfect division of work
+    rate = 1e9
+    assert res.time_s >= max(flops_list) / rate - 1e-12
+    assert res.time_s >= sum(flops_list) / (cores * rate) - 1e-12
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(FLOPS, min_size=1, max_size=20))
+def test_property_busy_time_conserved(flops_list):
+    trace = Trace([Phase("p", [Op("gemm", f) for f in flops_list])])
+    for cores in (1, 4):
+        res = simulate(trace, flat_machine(cores))
+        assert res.busy_time_s == pytest.approx(sum(flops_list) / 1e9)
+        assert res.utilization <= 1.0 + 1e-9
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(FLOPS, min_size=2, max_size=20), st.integers(2, 16))
+def test_property_chained_ops_never_faster_than_free(flops_list, cores):
+    free = Trace([Phase("p", [Op("gemm", f) for f in flops_list])])
+    chained = Trace(
+        [Phase("p", [Op("gemm", f, chain=0) for f in flops_list])]
+    )
+    m = flat_machine(cores)
+    t_free = simulate(free, m).time_s
+    t_chained = simulate(chained, m).time_s
+    assert t_chained >= t_free - 1e-12
+    # a single chain is fully serial
+    assert t_chained == pytest.approx(sum(flops_list) / 1e9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(FLOPS, min_size=1, max_size=10),
+    st.lists(FLOPS, min_size=1, max_size=10),
+)
+def test_property_phases_additive(a, b):
+    m = flat_machine(4)
+    t_ab = simulate(
+        Trace([
+            Phase("a", [Op("gemm", f) for f in a]),
+            Phase("b", [Op("gemm", f) for f in b]),
+        ]),
+        m,
+    ).time_s
+    t_a = simulate(Trace([Phase("a", [Op("gemm", f) for f in a])]), m).time_s
+    t_b = simulate(Trace([Phase("b", [Op("gemm", f) for f in b])]), m).time_s
+    assert t_ab == pytest.approx(t_a + t_b)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.floats(min_value=0.0, max_value=1.0))
+def test_property_gpu_divergence_monotone(div):
+    from repro.simulator import TESLA_C2050
+
+    op_lo = Op("gemm", 1e6, divergence=0.0)
+    op_hi = Op("gemm", 1e6, divergence=div)
+    assert TESLA_C2050.compute_time(op_hi) >= TESLA_C2050.compute_time(op_lo)
+
+
+def test_more_chains_scale_like_queries():
+    # 8 chains of equal work on 8 cores run 8x faster than on 1 core
+    ops = [Op("gemm", 1e6, chain=i % 8) for i in range(64)]
+    trace = Trace([Phase("p", ops)])
+    t1 = simulate(trace, flat_machine(1)).time_s
+    t8 = simulate(trace, flat_machine(8)).time_s
+    assert t1 / t8 == pytest.approx(8.0, rel=1e-6)
+
+
+def test_with_cores_preserves_everything_else():
+    m = with_cores(DESKTOP_QUAD, 13)
+    assert m.cores == 13
+    assert m.ghz == DESKTOP_QUAD.ghz
+    assert m.simd_lanes == DESKTOP_QUAD.simd_lanes
+    assert m.name == DESKTOP_QUAD.name

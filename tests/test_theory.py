@@ -1,0 +1,132 @@
+"""Empirical checks of the paper's theory (Claims 1-2, Theorems 1-2, Lemma 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ExactRBC, OneShotRBC, sample_representatives
+from repro.metrics import get_metric
+from repro.parallel import bf_knn
+
+
+def test_claim1_expected_ball_size():
+    """Claim 1: E|B(q, gamma)| = n / n_r under Bernoulli sampling.
+
+    gamma is the distance from q to its nearest representative; the number
+    of database points closer than that follows a geometric law with mean
+    n / n_r regardless of the data distribution.
+    """
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(4000, 6))
+    Q = rng.normal(size=(60, 6))
+    n, n_r = X.shape[0], 200
+    metric = get_metric("euclidean")
+    D = metric.pairwise(Q, X)  # (m, n), reused across trials
+
+    counts = []
+    trial_rng = np.random.default_rng(7)
+    for _ in range(30):
+        reps = sample_representatives(n, n_r, trial_rng, scheme="bernoulli")
+        gamma = D[:, reps].min(axis=1)
+        counts.extend((D < gamma[:, None]).sum(axis=1).tolist())
+    observed = np.mean(counts)
+    expected = n / n_r  # = 20
+    assert observed == pytest.approx(expected, rel=0.25)
+
+
+def test_lemma1_owner_within_3gamma(small_vectors):
+    """Lemma 1: the representative owning q's NN satisfies rho(q,r*) <= 3 gamma."""
+    X, Q = small_vectors
+    rbc = ExactRBC(seed=0, rep_scheme="exact").build(X, n_reps=25)
+    m = rbc.metric
+    D_R = m.pairwise(Q, rbc.rep_data)
+    gamma = D_R.min(axis=1)
+    _, nn = bf_knn(Q, X, k=1)
+    owner_of = np.empty(X.shape[0], dtype=int)
+    for j, lst in enumerate(rbc.lists):
+        owner_of[lst] = j
+    for qi in range(Q.shape[0]):
+        r_star = owner_of[nn[qi, 0]]
+        assert D_R[qi, r_star] <= 3.0 * gamma[qi] + 1e-9
+
+
+def test_claim2_nn_within_gamma_plus_rep_distance(small_vectors):
+    """Claim 2 (trim form): an NN owned by r satisfies
+    rho(x, r) <= rho(q, r) + gamma, hence lies in the sorted-list prefix."""
+    X, Q = small_vectors
+    rbc = ExactRBC(seed=1, rep_scheme="exact").build(X, n_reps=25)
+    m = rbc.metric
+    D_R = m.pairwise(Q, rbc.rep_data)
+    gamma = D_R.min(axis=1)
+    _, nn = bf_knn(Q, X, k=1)
+    owner_of = np.empty(X.shape[0], dtype=int)
+    dist_to_owner = np.empty(X.shape[0])
+    for j, lst in enumerate(rbc.lists):
+        owner_of[lst] = j
+        dist_to_owner[lst] = rbc.list_dists[j]
+    for qi in range(Q.shape[0]):
+        x = nn[qi, 0]
+        r = owner_of[x]
+        assert dist_to_owner[x] <= D_R[qi, r] + gamma[qi] + 1e-9
+        # and the paper's coarser 4-gamma form
+        assert dist_to_owner[x] <= 4.0 * gamma[qi] + 1e-9
+
+
+def test_theorem1_stage2_work_bound(clustered):
+    """Theorem 1: expected stage-2 examinations <= c^3 n / n_r.
+
+    We check the operational half of the statement: the measured stage-2
+    candidate count shrinks as n_r grows, with the n / n_r trend."""
+    X, Q = clustered
+    works = {}
+    for n_r in (50, 200, 800):
+        rbc = ExactRBC(seed=0, rep_scheme="exact").build(X, n_reps=n_r)
+        rbc.query(Q, k=1)
+        works[n_r] = rbc.last_stats.candidates_examined / len(Q)
+    assert works[800] < works[200] < works[50]
+
+
+def test_theorem1_total_work_sublinear_scaling():
+    """With the standard n_r = sqrt(n), per-query work grows like sqrt(n),
+    not n: quadrupling n should at most ~double the work on benign data."""
+    from repro.data import manifold
+
+    work = {}
+    for n in (2000, 8000):
+        full = manifold(n + 50, 10, 2, noise=0.0, seed=3)
+        X, Q = full[:n], full[n:]
+        rbc = ExactRBC(seed=0).build(X)  # n_reps = sqrt(n)
+        rbc.query(Q, k=1)
+        work[n] = rbc.last_stats.per_query_evals()
+    growth = work[8000] / work[2000]
+    assert growth < 3.0, f"work grew {growth:.2f}x for 4x data"
+
+
+def test_theorem2_failure_rate_bounded(clustered):
+    """Theorem 2's guarantee, checked end to end (same flavour as the
+    one-shot test but sweeping delta)."""
+    X, Q = clustered
+    true_d, _ = bf_knn(Q, X, k=1)
+    for delta in (0.3, 0.05):
+        from repro.core import oneshot_params
+
+        nr, s = oneshot_params(X.shape[0], c=2.0, delta=delta)
+        rbc = OneShotRBC(seed=1).build(X, n_reps=nr, s=s)
+        d, _ = rbc.query(Q, k=1)
+        failure = float((d[:, 0] > true_d[:, 0] + 1e-9).mean())
+        assert failure <= delta + 0.05
+
+
+def test_oneshot_proof_step_query_near_rep_succeeds(small_vectors):
+    """The key step of Theorem 2's proof: if rho(q, r) <= psi_r / 2 for the
+    chosen representative, the true NN is guaranteed to be in L_r."""
+    X, _ = small_vectors
+    rbc = OneShotRBC(seed=0, rep_scheme="exact").build(X, n_reps=12, s=60)
+    m = rbc.metric
+    true_d, _ = bf_knn(X, X, k=1)  # self-queries: exact NN is the point
+    D_R = m.pairwise(X, rbc.rep_data)
+    choice = D_R.argmin(axis=1)
+    d, _ = rbc.query(X, k=1)
+    for qi in range(X.shape[0]):
+        r = choice[qi]
+        if D_R[qi, r] <= rbc.radii[r] / 2.0:
+            assert d[qi, 0] <= true_d[qi, 0] + 1e-9

@@ -1,0 +1,73 @@
+"""Operation traces and recorders."""
+
+import pytest
+
+from repro.simulator import NULL_RECORDER, Op, Phase, Trace, TraceRecorder
+
+
+def test_op_validation():
+    with pytest.raises(ValueError):
+        Op(kind="gemm", flops=-1.0)
+    with pytest.raises(ValueError):
+        Op(kind="gemm", flops=1.0, divergence=1.5)
+    op = Op(kind="gemm", flops=10.0, bytes=5.0)
+    assert op.vectorizable is True
+
+
+def test_phase_totals():
+    p = Phase("x", [Op("gemm", 10.0, 2.0), Op("reduce", 5.0, 1.0)])
+    assert p.flops == 15.0
+    assert p.bytes == 3.0
+
+
+def test_trace_totals_and_extend():
+    t1 = Trace([Phase("a", [Op("gemm", 1.0)])])
+    t2 = Trace([Phase("b", [Op("gemm", 2.0)]), Phase("c", [Op("gemm", 3.0)])])
+    t1.extend(t2)
+    assert t1.flops == 6.0
+    assert t1.n_ops == 3
+    assert [p.name for p in t1.phases] == ["a", "b", "c"]
+
+
+def test_recorder_groups_ops_into_phases():
+    rec = TraceRecorder()
+    with rec.phase("dist"):
+        rec.record(Op("gemm", 1.0))
+        rec.record(Op("gemm", 2.0))
+    with rec.phase("merge"):
+        rec.record(Op("reduce", 3.0))
+    assert [p.name for p in rec.trace.phases] == ["dist", "merge"]
+    assert len(rec.trace.phases[0].ops) == 2
+
+
+def test_recorder_drops_empty_phases():
+    rec = TraceRecorder()
+    with rec.phase("nothing"):
+        pass
+    assert rec.trace.phases == []
+
+
+def test_nested_phases_flatten_into_outer():
+    rec = TraceRecorder()
+    with rec.phase("outer"):
+        rec.record(Op("gemm", 1.0))
+        with rec.phase("inner"):
+            rec.record(Op("gemm", 2.0))
+    assert len(rec.trace.phases) == 1
+    assert rec.trace.phases[0].name == "outer"
+    assert len(rec.trace.phases[0].ops) == 2
+
+
+def test_orphan_op_gets_own_phase():
+    rec = TraceRecorder()
+    rec.record(Op("gemm", 1.0, tag="solo"))
+    assert len(rec.trace.phases) == 1
+    assert rec.trace.phases[0].name == "solo"
+
+
+def test_null_recorder_swallows_everything():
+    NULL_RECORDER.record(Op("gemm", 1.0))
+    with NULL_RECORDER.phase("x"):
+        NULL_RECORDER.record(Op("gemm", 1.0))
+    assert NULL_RECORDER.trace.phases == []
+    assert NULL_RECORDER.enabled is False

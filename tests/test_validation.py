@@ -1,0 +1,55 @@
+"""Input validation and failure injection."""
+
+import numpy as np
+import pytest
+
+from repro.core import ExactRBC, OneShotRBC
+from repro.metrics import Euclidean, check_metric_axioms
+
+
+def test_nan_database_rejected(rng):
+    X = rng.normal(size=(100, 4))
+    X[17, 2] = np.nan
+    with pytest.raises(ValueError, match="non-finite"):
+        ExactRBC(seed=0).build(X)
+    with pytest.raises(ValueError, match="non-finite"):
+        OneShotRBC(seed=0).build(X)
+
+
+def test_inf_database_rejected(rng):
+    X = rng.normal(size=(50, 3))
+    X[0, 0] = np.inf
+    with pytest.raises(ValueError, match="non-finite"):
+        ExactRBC(seed=0).build(X)
+
+
+def test_validate_reports_point_count(rng):
+    X = rng.normal(size=(20, 2))
+    X[3] = np.nan
+    X[7] = np.inf
+    with pytest.raises(ValueError, match="2 point"):
+        Euclidean().validate(X)
+
+
+def test_clean_data_passes(rng):
+    Euclidean().validate(rng.normal(size=(10, 3)))  # no raise
+
+
+def test_broken_metric_detected_by_axiom_checker(rng):
+    """A user-supplied 'metric' violating the triangle inequality is the
+    failure mode that silently breaks exact search; the checker is the
+    defense the docs point to."""
+
+    class Broken(Euclidean):
+        def _pairwise(self, Q, X):
+            return super()._pairwise(Q, X) ** 2  # sq-euclidean in disguise
+
+    X = np.array([[0.0], [1.0], [2.0]])
+    with pytest.raises(AssertionError, match="triangle"):
+        check_metric_axioms(Broken(), X, n_triples=200, rng=rng)
+
+
+def test_exact_rejects_flagged_non_metric_upfront(rng):
+    # the is_true_metric flag is honoured before any work happens
+    with pytest.raises(ValueError, match="triangle"):
+        ExactRBC(metric="sqeuclidean").build(rng.normal(size=(50, 2)))

@@ -1,0 +1,107 @@
+"""Vantage-point tree baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import VPTree
+from repro.eval import results_match_exactly
+from repro.metrics import EditDistance
+from repro.parallel import bf_knn
+
+
+@pytest.mark.parametrize("k", [1, 4])
+@pytest.mark.parametrize("metric", ["euclidean", "manhattan", "angular"])
+def test_exact_knn(metric, k, small_vectors):
+    X, Q = small_vectors
+    true_d, _ = bf_knn(Q, X, metric, k=k)
+    t = VPTree(metric=metric, seed=0).build(X)
+    d, _ = t.query(Q, k=k)
+    assert results_match_exactly(d, true_d)
+
+
+@pytest.mark.parametrize("leaf_size", [1, 8, 200])
+def test_leaf_sizes(leaf_size, small_vectors):
+    X, Q = small_vectors
+    true_d, _ = bf_knn(Q, X, k=2)
+    t = VPTree(leaf_size=leaf_size, seed=0).build(X)
+    d, _ = t.query(Q, k=2)
+    assert results_match_exactly(d, true_d)
+
+
+def test_prunes_on_clustered(clustered):
+    X, Q = clustered
+    t = VPTree(seed=0).build(X)
+    t.metric.reset_counter()
+    t.query(Q[:10], k=1)
+    assert t.metric.counter.n_evals / 10 < 0.7 * X.shape[0]
+
+
+def test_duplicates_fall_back_to_leaf(rng):
+    X = np.repeat(rng.normal(size=(2, 3)), 30, axis=0)
+    t = VPTree(leaf_size=4, seed=0).build(X)
+    true_d, _ = bf_knn(X[:2], X, k=3)
+    d, _ = t.query(X[:2], k=3)
+    assert results_match_exactly(d, true_d)
+
+
+def test_shell_bounds_valid(small_vectors):
+    X, _ = small_vectors
+    t = VPTree(seed=0, leaf_size=16).build(X)
+
+    def check(node):
+        if node is None or node.ids is not None:
+            return
+        # every inner point within inner_max, every outer beyond outer_min
+        def members(nd):
+            if nd.ids is not None:
+                return list(nd.ids)
+            return members(nd.inner) + members(nd.outer) + [nd.vantage]
+
+        m = t.metric
+        for side, bound, cmp in (
+            (node.inner, node.inner_max, "le"),
+            (node.outer, node.outer_min, "ge"),
+        ):
+            ids = members(side)
+            if not ids:
+                continue
+            D = m.pairwise(m.take(X, [node.vantage]), m.take(X, ids))[0]
+            if cmp == "le":
+                assert D.max() <= bound + 1e-9
+            else:
+                assert D.min() >= bound - 1e-9
+        check(node.inner)
+        check(node.outer)
+
+    check(t.root)
+
+
+def test_edit_distance():
+    from repro.data import random_strings
+
+    S = random_strings(180, seed=6)
+    Q = random_strings(8, seed=7)
+    true_d, _ = bf_knn(Q, S, EditDistance(), k=2)
+    t = VPTree(metric=EditDistance(), seed=0).build(S)
+    d, _ = t.query(Q, k=2)
+    assert results_match_exactly(d, true_d)
+
+
+def test_depth_logarithmic(rng):
+    X = rng.random((4096, 3))
+    t = VPTree(leaf_size=16, seed=0).build(X)
+    assert t.depth() <= 20  # median split: ~log2(4096/16) + slack
+
+
+def test_validation(rng):
+    with pytest.raises(ValueError):
+        VPTree(leaf_size=0)
+    with pytest.raises(ValueError):
+        VPTree(metric="sqeuclidean")
+    with pytest.raises(RuntimeError):
+        VPTree().query(np.zeros((1, 2)))
+    with pytest.raises(ValueError):
+        VPTree().build(np.empty((0, 3)))
+    t = VPTree(seed=0).build(rng.normal(size=(50, 2)))
+    with pytest.raises(ValueError):
+        t.query(np.zeros((1, 2)), k=0)
