@@ -29,6 +29,15 @@ An approximation knob ``approx_eps`` implements the paper's footnote 1:
 with ``approx_eps = e > 0`` the pruning threshold shrinks from ``gamma`` to
 ``gamma / (1 + e)``, which guarantees the returned point is within a factor
 ``(1 + e)`` of the true NN distance while pruning more aggressively.
+
+Stage 2 is *batched*: the pruning rules are broadcast over the whole
+``(chunk, n_reps)`` stage-1 distance block, the Claim-2 trim is one
+vectorized ``searchsorted`` per representative, and surviving queries are
+grouped by representative so each representative's trimmed prefix is
+scanned with a single dense ``pairwise`` block (the same matmul-like
+group-by-rep structure as the one-shot search).  This is the paper's core
+argument applied to its own exact algorithm: per-query scalar work
+coalesces into brute-force blocks that run at hardware speed.
 """
 
 from __future__ import annotations
@@ -36,9 +45,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..parallel.blocking import row_chunks
-from ..parallel.bruteforce import _is_batch, _record_dist_tile
-from ..parallel.pool import SerialExecutor, get_executor
-from ..parallel.reduce import EMPTY_IDX, topk_of_block
+from ..parallel.bruteforce import _is_batch, _record_dist_tile, _record_select
+from ..parallel.pool import ProcessExecutor, SerialExecutor, get_executor
+from ..parallel.reduce import EMPTY_IDX, merge_group_topk, merge_topk, topk_of_block
 from ..simulator.trace import NULL_RECORDER, Op, TraceRecorder
 from .params import standard_n_reps
 from .rbc import RBCBase, sample_representatives
@@ -156,8 +165,16 @@ class ExactRBC(RBCBase):
 
         # ---- pruning + stage 2, parallel over query chunks
         psi = self.radii
-        exec_ = get_executor(self.executor)
-        owns_exec = self.executor is None or isinstance(self.executor, str)
+        rep_owner, rep_pos = self._rep_positions()
+        if self.executor == "processes" or isinstance(self.executor, ProcessExecutor):
+            # stage 2 would ship the whole index state per chunk through a
+            # process pool; the batched kernels below are BLAS-bound and
+            # release the GIL, so chunks run inline instead
+            exec_ = SerialExecutor()
+            owns_exec = True
+        else:
+            exec_ = get_executor(self.executor)
+            owns_exec = self.executor is None or isinstance(self.executor, str)
 
         def task(chunk):
             lo, hi = chunk
@@ -167,6 +184,8 @@ class ExactRBC(RBCBase):
                 gamma,
                 gamma_eff,
                 psi,
+                rep_owner,
+                rep_pos,
                 lo,
                 hi,
                 k,
@@ -214,6 +233,28 @@ class ExactRBC(RBCBase):
                 )
         return out
 
+    def _rep_positions(self) -> tuple[np.ndarray, np.ndarray]:
+        """Locate every representative inside the ownership lists.
+
+        Returns ``(owner, pos)``: representative ``r`` (a database point)
+        sits at ``lists[owner[r]][pos[r]]``.  The batched stage 2 uses this
+        to avoid examining a seed representative twice when its own list
+        prefix is already scanned.  ``owner`` is ``-1`` for a representative
+        found in no list (cannot happen in a consistent exact build; treated
+        as "not scanned").
+        """
+        owner = np.full(self.n_reps, -1, dtype=np.int64)
+        pos = np.zeros(self.n_reps, dtype=np.int64)
+        for j, lst in enumerate(self.lists):
+            if lst.size == 0:
+                continue
+            hit = np.flatnonzero(np.isin(lst, self.rep_ids))
+            if hit.size:
+                ridx = np.searchsorted(self.rep_ids, lst[hit])
+                owner[ridx] = j
+                pos[ridx] = hit
+        return owner, pos
+
     def _stage2_chunk(
         self,
         Qb,
@@ -221,6 +262,8 @@ class ExactRBC(RBCBase):
         gamma,
         gamma_eff,
         psi,
+        rep_owner,
+        rep_pos,
         lo,
         hi,
         k,
@@ -229,83 +272,149 @@ class ExactRBC(RBCBase):
         use_trim,
         recorder,
     ):
-        """Prune representatives and brute-force the survivors' lists for
-        queries ``lo..hi``."""
+        """Batched pruning + grouped stage 2 for queries ``lo..hi``.
+
+        All per-query scalar work is coalesced into dense kernels:
+
+        1. the psi and 3-gamma rules are broadcast over the whole
+           ``(chunk, n_reps)`` block of stage-1 distances;
+        2. the Claim-2 trim is one vectorized ``searchsorted`` per
+           representative over the queries that kept it;
+        3. surviving queries are grouped by representative and each
+           representative's trimmed prefix is scanned with a single
+           ``pairwise`` block (rows padded to the group's longest prefix and
+           masked back to each query's own cut), with per-query results
+           folded through :func:`~repro.parallel.reduce.merge_group_topk`;
+        4. the seed representatives (the ``k`` nearest, distances already in
+           ``D_R``) are merged last, skipping any seed already inside a
+           scanned prefix so no candidate is examined twice.
+
+        Pruning/trim/candidate counters are identical to the per-query
+        formulation; stage-2 distance evaluations may exceed the per-query
+        count by the group padding (real work the dense kernel performs).
+        """
         sub = SearchStats()
+        nr = self.n_reps
+        c = hi - lo
         dim = self.metric.dim(self.rep_data)
-        dists = np.full((hi - lo, k), np.inf)
-        idxs = np.full((hi - lo, k), EMPTY_IDX, dtype=np.int64)
+        Dc = D_R[lo:hi]
+        ge = gamma_eff[lo:hi]
+
+        # ---- rules, broadcast over the whole chunk
+        keep = np.ones((c, nr), dtype=bool)
+        if use_psi_rule:
+            # inequality (1): rho(q,r) >= gamma + psi_r  =>  discard
+            kept = Dc - psi[None, :] < ge[:, None]
+            sub.pruned_by_psi += int(c * nr - np.count_nonzero(kept))
+            keep &= kept
+        if use_3gamma_rule:
+            # inequality (2) via Lemma 1
+            kept = Dc <= 3.0 * gamma[lo:hi][:, None]
+            sub.pruned_by_3gamma += int(np.count_nonzero(keep & ~kept))
+            keep &= kept
+
+        # ---- Claim-2 trim: rho(x, r) <= rho(q, r) + gamma bounds a sorted
+        # prefix; one vectorized searchsorted per surviving representative
+        cuts = np.zeros((c, nr), dtype=np.int64)
+        for j in np.flatnonzero(keep.any(axis=0)):
+            lst = self.lists[j]
+            if lst.size == 0:
+                continue
+            rows = np.flatnonzero(keep[:, j])
+            if use_trim:
+                cut = np.searchsorted(
+                    self.list_dists[j], Dc[rows, j] + ge[rows], side="right"
+                )
+                sub.trimmed_by_4gamma += int(rows.size * lst.size - cut.sum())
+                cuts[rows, j] = cut
+            else:
+                cuts[rows, j] = lst.size
+
+        # Seed with the k nearest representatives: they are database points
+        # whose distances are already known (stage 1) to be <= gamma, which
+        # keeps the answer exact even when a boundary tie in rule (1)
+        # discards a representative's own singleton list.  Seeds already
+        # inside a scanned prefix are masked so no candidate repeats.
+        kk = min(k, nr)
+        seed_cols = np.argpartition(Dc, kk - 1, axis=1)[:, :kk]
+        so = rep_owner[seed_cols]
+        so_ok = so >= 0
+        cut_at = np.take_along_axis(cuts, np.where(so_ok, so, 0), axis=1)
+        in_parts = so_ok & (rep_pos[seed_cols] < cut_at)
+        sub.candidates_examined += int(cuts.sum() + np.count_nonzero(~in_parts))
+
+        dists = np.full((c, k), np.inf)
+        idxs = np.full((c, k), EMPTY_IDX, dtype=np.int64)
         # DRAM traffic model: a candidate vector is streamed from memory the
         # first time any query in this chunk touches it and served from
         # cache afterwards, so the chunk charges each unique candidate once
-        # (recorded as one memcpy op below); per-query ops carry only their
+        # (recorded as one memcpy op below); group ops carry only their
         # compute and output bytes.
         touched = np.zeros(self.n, dtype=bool) if recorder.enabled else None
         with recorder.phase("exact:stage2"):
-            for i in range(lo, hi):
-                d_row = D_R[i]
-                keep = np.ones(self.n_reps, dtype=bool)
-                if use_psi_rule:
-                    # inequality (1): rho(q,r) >= gamma + psi_r  =>  discard
-                    kept = d_row - psi < gamma_eff[i]
-                    sub.pruned_by_psi += int(self.n_reps - kept.sum())
-                    keep &= kept
-                if use_3gamma_rule:
-                    # inequality (2) via Lemma 1
-                    kept = d_row <= 3.0 * gamma[i]
-                    sub.pruned_by_3gamma += int(np.count_nonzero(keep & ~kept))
-                    keep &= kept
+            if recorder.enabled:
                 recorder.record(
                     Op(
                         kind="ewise",
-                        flops=4.0 * self.n_reps,
-                        bytes=8.0 * self.n_reps,
+                        flops=4.0 * nr * c,
+                        bytes=8.0 * nr * c,
                         tag="exact:prune",
                     )
                 )
-
-                cand_parts = []
-                for j in np.flatnonzero(keep):
-                    lst = self.lists[j]
-                    if lst.size == 0:
-                        continue
-                    if use_trim:
-                        # Claim 2: an answer owned by r satisfies
-                        # rho(x, r) <= rho(q, r) + gamma
-                        cut = np.searchsorted(
-                            self.list_dists[j],
-                            d_row[j] + gamma_eff[i],
-                            side="right",
-                        )
-                        sub.trimmed_by_4gamma += int(lst.size - cut)
-                        cand_parts.append(lst[:cut])
-                    else:
-                        cand_parts.append(lst)
-                # Seed with the k nearest representatives: they are database
-                # points whose distances are already known to be <= gamma,
-                # which keeps the answer exact even when a boundary tie in
-                # rule (1) discards a representative's own singleton list.
-                kk = min(k, self.n_reps)
-                seed = self.rep_ids[np.argpartition(d_row, kk - 1)[:kk]]
-                cand = np.unique(np.concatenate(cand_parts + [seed]))
-                sub.candidates_examined += int(cand.size)
-
-                q_i = self.metric.take(Qb, [i])
-                D2 = self.metric.pairwise(q_i, self.metric.take(self.X, cand))
+            for j in np.flatnonzero((cuts > 0).any(axis=0)):
+                rows = np.flatnonzero(cuts[:, j])
+                cut = cuts[rows, j]
+                prefix_len = int(cut.max())
+                prefix = self.lists[j][:prefix_len]
+                Qg = self.metric.take(Qb, lo + rows)
+                D = self.metric.pairwise(Qg, self.metric.take(self.X, prefix))
+                if int(cut.min()) < prefix_len:
+                    # ragged group scanned as one padded block: a row only
+                    # owns its own trimmed prefix
+                    D[np.arange(prefix_len)[None, :] >= cut[:, None]] = np.inf
                 if touched is not None:
-                    touched[cand] = True
+                    touched[prefix] = True
+                _record_dist_tile(
+                    recorder, self.metric, rows.size, prefix_len, dim,
+                    "exact:stage2",
+                )
+                _record_select(recorder, rows.size, prefix_len, "exact:stage2")
+                merge_group_topk(dists, idxs, rows, D, prefix, n_valid=cut)
+                if recorder.enabled:
+                    recorder.record(
+                        Op(
+                            kind="reduce",
+                            flops=4.0 * rows.size * k,
+                            bytes=8.0 * 4 * rows.size * k,
+                            vectorizable=True,
+                            tag="exact:stage2:merge",
+                        )
+                    )
+            # fold in the seeds not already scanned above, reusing their
+            # stage-1 distances (no new evaluations)
+            sd = np.take_along_axis(Dc, seed_cols, axis=1).astype(
+                np.float64, copy=True
+            )
+            sd[in_parts] = np.inf
+            sg = self.rep_ids[seed_cols]
+            d_s, li = topk_of_block(sd, k)
+            gi = np.where(
+                li >= 0,
+                np.take_along_axis(sg, np.clip(li, 0, None), axis=1),
+                EMPTY_IDX,
+            )
+            gi = np.where(np.isfinite(d_s), gi, EMPTY_IDX)
+            dists, idxs = merge_topk((dists, idxs), (d_s, gi))
+            if recorder.enabled:
                 recorder.record(
                     Op(
-                        kind="gemm",
-                        flops=cand.size * self.metric.flops_per_eval(dim),
-                        bytes=8.0 * cand.size,  # output row + id reads
-                        tag="exact:stage2",
+                        kind="reduce",
+                        flops=4.0 * c * k,
+                        bytes=8.0 * 4 * c * k,
+                        vectorizable=True,
+                        tag="exact:stage2:merge",
                     )
                 )
-                d, li = topk_of_block(D2, k)
-                mask = li[0] >= 0
-                idxs[i - lo, mask] = cand[li[0][mask]]
-                dists[i - lo] = d[0]
             if touched is not None and touched.any():
                 recorder.record(
                     Op(
@@ -405,6 +514,11 @@ class ExactRBC(RBCBase):
         ``rho(q, r) <= eps + psi_r``; inside a surviving list, hits satisfy
         ``|rho(x, r) - rho(q, r)| <= eps``, so the sorted order admits a
         two-sided window.  Survivor candidates are then verified exactly.
+
+        Like the k-NN stage 2, the scan is batched: pruning and the
+        two-sided windows are vectorized over the whole query batch, and
+        each representative's candidate window is verified with one dense
+        ``pairwise`` block over all queries that reached it.
         """
         self._require_built()
         if eps < 0:
@@ -412,27 +526,50 @@ class ExactRBC(RBCBase):
         Qb = Q if _is_batch(self.metric, Q) else self.metric._as_batch(Q)
         m = self.metric.length(Qb)
         D_R = self._stage1_distances(Qb, recorder)
+        dim = self.metric.dim(self.rep_data)
+
+        keep = D_R <= eps + self.radii[None, :]
+        parts_d: list[list[np.ndarray]] = [[] for _ in range(m)]
+        parts_i: list[list[np.ndarray]] = [[] for _ in range(m)]
+        with recorder.phase("exact:range"):
+            for j in np.flatnonzero(keep.any(axis=0)):
+                lst = self.lists[j]
+                ld = self.list_dists[j]
+                if lst.size == 0:
+                    continue
+                rows = np.flatnonzero(keep[:, j])
+                lsl = np.searchsorted(ld, D_R[rows, j] - eps, side="left")
+                lsr = np.searchsorted(ld, D_R[rows, j] + eps, side="right")
+                nonempty = lsr > lsl
+                rows, lsl, lsr = rows[nonempty], lsl[nonempty], lsr[nonempty]
+                if rows.size == 0:
+                    continue
+                # one dense block over the union window; each row then keeps
+                # its own two-sided slice
+                wlo, whi = int(lsl.min()), int(lsr.max())
+                window = lst[wlo:whi]
+                D = self.metric.pairwise(
+                    self.metric.take(Qb, rows), self.metric.take(self.X, window)
+                )
+                _record_dist_tile(
+                    recorder, self.metric, rows.size, window.size, dim,
+                    "exact:range",
+                )
+                cols = np.arange(wlo, whi)[None, :]
+                hit = (cols >= lsl[:, None]) & (cols < lsr[:, None]) & (D <= eps)
+                for t, i_row in enumerate(rows):
+                    sel = np.flatnonzero(hit[t])
+                    if sel.size:
+                        parts_d[i_row].append(D[t, sel])
+                        parts_i[i_row].append(window[sel])
 
         out = []
-        with recorder.phase("exact:range"):
-            for i in range(m):
-                d_row = D_R[i]
-                keep = d_row <= eps + self.radii
-                cand_parts = []
-                for j in np.flatnonzero(keep):
-                    ld = self.list_dists[j]
-                    lsl = np.searchsorted(ld, d_row[j] - eps, side="left")
-                    lsr = np.searchsorted(ld, d_row[j] + eps, side="right")
-                    if lsr > lsl:
-                        cand_parts.append(self.lists[j][lsl:lsr])
-                if not cand_parts:
-                    out.append((np.empty(0), np.empty(0, dtype=np.int64)))
-                    continue
-                cand = np.concatenate(cand_parts)
-                q_i = self.metric.take(Qb, [i])
-                D2 = self.metric.pairwise(q_i, self.metric.take(self.X, cand))[0]
-                hit = D2 <= eps
-                d, gi = D2[hit], cand[hit]
+        for r in range(m):
+            if parts_d[r]:
+                d = np.concatenate(parts_d[r])
+                gi = np.concatenate(parts_i[r]).astype(np.int64)
                 order = np.argsort(d, kind="stable")
                 out.append((d[order], gi[order]))
+            else:
+                out.append((np.empty(0), np.empty(0, dtype=np.int64)))
         return out

@@ -20,7 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..parallel.bruteforce import _is_batch, _record_dist_tile, bf_knn
-from ..parallel.reduce import EMPTY_IDX, dedupe_rows, merge_topk, topk_of_block
+from ..parallel.reduce import EMPTY_IDX, dedupe_rows, merge_group_topk
 from ..simulator.trace import NULL_RECORDER, Op, TraceRecorder
 from .params import oneshot_params
 from .rbc import RBCBase, sample_representatives
@@ -156,11 +156,7 @@ class OneShotRBC(RBCBase):
                         self.metric.dim(self.rep_data),
                         "oneshot:stage2",
                     )
-                    d, li = topk_of_block(D, kk)
-                    gi = np.where(li >= 0, cand[np.clip(li, 0, None)], EMPTY_IDX)
-                    best_d[rows], best_i[rows] = merge_topk(
-                        (best_d[rows], best_i[rows]), (d, gi)
-                    )
+                    merge_group_topk(best_d, best_i, rows, D, cand)
                     stats.candidates_examined += int(D.size)
         stats.stage2_evals = self.metric.counter.n_evals - evals1
 

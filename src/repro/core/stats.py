@@ -39,6 +39,23 @@ class SearchStats:
         """Mean distance evaluations per query — the paper's work measure."""
         return self.total_evals / self.n_queries if self.n_queries else 0.0
 
+    def rule_counts(self) -> dict[str, int]:
+        """The pruning-rule observables as a dict, for exact comparison.
+
+        These counters are *batching-invariant*: the batched stage 2 must
+        report the same values as a per-query reference run (the regression
+        tests compare them with ``==``).  ``stage2_evals`` is deliberately
+        excluded — grouped scans may pad ragged prefixes, which is real
+        kernel work and is honestly counted as such.
+        """
+        return {
+            "n_queries": self.n_queries,
+            "pruned_by_psi": self.pruned_by_psi,
+            "pruned_by_3gamma": self.pruned_by_3gamma,
+            "trimmed_by_4gamma": self.trimmed_by_4gamma,
+            "candidates_examined": self.candidates_examined,
+        }
+
 
 @dataclass
 class BuildStats:

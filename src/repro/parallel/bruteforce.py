@@ -22,10 +22,16 @@ from __future__ import annotations
 import numpy as np
 
 from ..metrics import get_metric
-from ..metrics.base import Metric
+from ..metrics.base import Metric, VectorMetric
 from ..simulator.trace import NULL_RECORDER, Op, TraceRecorder
 from .blocking import choose_tile_cols, row_chunks
-from .pool import Executor, SerialExecutor, SharedArray, get_executor
+from .pool import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    SharedArray,
+    get_executor,
+)
 from .reduce import EMPTY_IDX, merge_topk, topk_of_block, tree_reduce
 
 __all__ = ["bf_knn", "bf_nn", "bf_range", "bf_knn_processes"]
@@ -64,6 +70,8 @@ def _record_dist_tile(
 
 
 def _record_select(recorder: TraceRecorder, rows: int, cols: int, tag: str) -> None:
+    if not recorder.enabled or rows <= 0 or cols <= 0:
+        return
     recorder.record(
         Op(
             kind="reduce",
@@ -143,7 +151,15 @@ def bf_knn(
         (the paper's ``BF(Q, X[L])``) and reports *global* indices into X.
     executor:
         ``None``/``"serial"``, ``"threads"``, ``"processes"`` or an
-        :class:`Executor`; row chunks are mapped over it.
+        :class:`Executor`; row chunks are mapped over it.  The process
+        backend runs in worker processes (shared-memory operands for vector
+        metrics, pickled chunks otherwise), so it requires a metric the
+        workers can rebuild from the registry by name — a name string or a
+        default-constructed registry instance; customized instances raise
+        ``TypeError``.  Distance evaluations then happen in the workers and
+        are credited to the caller's counter as one bulk update
+        (``n_evals`` stays exact, ``n_calls`` becomes a single call), and
+        tracing is unsupported (``ValueError`` if ``recorder`` is enabled).
     tile_cols:
         database columns per tile (auto-sized to ~8 MB of operands if None).
     recorder:
@@ -155,6 +171,7 @@ def bf_knn(
         ``(m, k)`` arrays, rows sorted ascending.  When fewer than ``k``
         points are available, trailing slots hold ``inf`` / ``-1``.
     """
+    metric_spec = metric
     metric = get_metric(metric)
     if k < 1:
         raise ValueError("k must be >= 1")
@@ -173,6 +190,44 @@ def bf_knn(
         raise ValueError("database is empty")
     dim = metric.dim(X)
     tile_cols = tile_cols or choose_tile_cols(n, dim)
+
+    if executor == "processes" or isinstance(executor, ProcessExecutor):
+        # Worker processes cannot unpickle the chunk closure below, so the
+        # string spec is routed to module-level workers that rebuild the
+        # metric by registry name.
+        name = metric_spec if isinstance(metric_spec, str) else _registry_name(metric)
+        if recorder.enabled:
+            raise ValueError(
+                "executor='processes' cannot record traces (the ops happen "
+                "in worker processes); use 'threads' or 'serial' when tracing"
+            )
+        pool = executor if isinstance(executor, ProcessExecutor) else None
+        if isinstance(metric, VectorMetric):
+            dist, idx = bf_knn_processes(
+                Qb, X, name, k=k,
+                row_chunk=row_chunk, tile_cols=tile_cols, executor=pool,
+            )
+        else:
+            tasks = [
+                (lo, metric.take(Qb, np.arange(lo, hi)), X, name, k, tile_cols)
+                for lo, hi in row_chunks(m, row_chunk)
+            ]
+            if pool is not None:
+                parts = pool.map(_proc_chunk_knn_pickled, tasks)
+            else:
+                with get_executor("processes") as ex:
+                    parts = ex.map(_proc_chunk_knn_pickled, tasks)
+            parts.sort(key=lambda t: t[0])
+            dist = np.concatenate([p[1] for p in parts], axis=0)
+            idx = np.concatenate([p[2] for p in parts], axis=0)
+        # workers evaluate every (q, x) pair; credit the caller's counter in
+        # one bulk update so work accounting survives the process boundary
+        metric.counter.add(m * n)
+        if ids is not None:
+            mask = idx >= 0
+            idx[mask] = ids[idx[mask]]
+        return dist, idx
+
     exec_ = get_executor(executor)
     owns_exec = executor is None or isinstance(executor, str)
 
@@ -271,6 +326,61 @@ def bf_range(
 
 
 # --------------------------------------------------------------- processes
+def _state_equal(a, b) -> bool:
+    if a is b:
+        return True
+    try:
+        if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+            return bool(np.array_equal(a, b))
+        return bool(a == b)
+    except Exception:
+        return False
+
+
+def _registry_name(metric: Metric) -> str:
+    """Name under which worker processes can rebuild ``metric``.
+
+    Only default-constructed registry metrics qualify: the workers rebuild
+    the metric from the registry by name, so a metric that is not registered
+    (``GraphMetric``) or carries customized state (``Minkowski(p=3)``,
+    ``Mahalanobis(VI)``) would silently compute different distances.
+    """
+    name = getattr(metric, "name", "")
+    try:
+        fresh = get_metric(name)
+    except (ValueError, TypeError):
+        fresh = None
+    if fresh is None or type(fresh) is not type(metric):
+        raise TypeError(
+            f"executor='processes' requires a metric that worker processes "
+            f"can rebuild from the registry by name; "
+            f"{type(metric).__name__} is not a registry metric — pass the "
+            f"metric's registry name, or use executor='threads'"
+        )
+    mine = {k: v for k, v in vars(metric).items() if k != "counter"}
+    theirs = {k: v for k, v in vars(fresh).items() if k != "counter"}
+    if mine.keys() != theirs.keys() or not all(
+        _state_equal(mine[k], theirs[k]) for k in mine
+    ):
+        raise TypeError(
+            f"executor='processes' cannot ship customized "
+            f"{type(metric).__name__} state to worker processes; pass the "
+            f"registry name for a default-constructed metric, or use "
+            f"executor='threads'"
+        )
+    return name
+
+
+def _proc_chunk_knn_pickled(args) -> tuple[int, np.ndarray, np.ndarray]:
+    """Process-pool worker for non-vector metrics: operands travel pickled."""
+    lo, Qc, X, metric_name, k, tile_cols = args
+    metric = get_metric(metric_name)
+    dist, idx = _knn_one_chunk(
+        metric, Qc, X, k, tile_cols, NULL_RECORDER, metric.dim(X), "bf"
+    )
+    return lo, dist, idx
+
+
 def _proc_chunk_knn(args) -> tuple[int, np.ndarray, np.ndarray]:
     """Process-pool worker: top-k for one row chunk from shared memory."""
     qh, xh, lo, hi, metric_name, k, tile_cols = args
@@ -294,13 +404,16 @@ def bf_knn_processes(
     n_workers: int | None = None,
     row_chunk: int = _DEFAULT_ROW_CHUNK,
     tile_cols: int | None = None,
+    executor: Executor | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Process-parallel ``bf_knn`` for vector metrics.
 
     Operands are placed in POSIX shared memory once; workers attach by name,
     so per-task pickling cost is O(1) regardless of data size.  Distance
     evaluations happen in worker processes and are *not* reflected in the
-    parent's metric counters.
+    parent's metric counters (``bf_knn(..., executor="processes")`` credits
+    them in bulk).  An already-running :class:`ProcessExecutor` can be
+    passed as ``executor`` to reuse its pool; it is left open.
     """
     if not isinstance(metric, str):
         raise TypeError("process backend needs a registry metric name")
@@ -314,8 +427,11 @@ def bf_knn_processes(
             (qh, xh, lo, hi, metric, k, tile_cols)
             for lo, hi in row_chunks(Q.shape[0], row_chunk)
         ]
-        with get_executor("processes", n_workers) as ex:
-            parts = ex.map(_proc_chunk_knn, tasks)
+        if executor is not None:
+            parts = executor.map(_proc_chunk_knn, tasks)
+        else:
+            with get_executor("processes", n_workers) as ex:
+                parts = ex.map(_proc_chunk_knn, tasks)
     finally:
         qh.unlink()
         xh.unlink()

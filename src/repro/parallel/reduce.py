@@ -19,7 +19,14 @@ from typing import TypeVar
 
 import numpy as np
 
-__all__ = ["tree_reduce", "merge_topk", "topk_of_block", "dedupe_rows", "EMPTY_IDX"]
+__all__ = [
+    "tree_reduce",
+    "merge_topk",
+    "topk_of_block",
+    "merge_group_topk",
+    "dedupe_rows",
+    "EMPTY_IDX",
+]
 
 T = TypeVar("T")
 
@@ -99,6 +106,39 @@ def merge_topk(
     I = np.concatenate([ia, ib], axis=1)
     order = np.argsort(D, axis=1, kind="stable")[:, :k]
     return np.take_along_axis(D, order, axis=1), np.take_along_axis(I, order, axis=1)
+
+
+def merge_group_topk(
+    best_d: np.ndarray,
+    best_i: np.ndarray,
+    rows: np.ndarray,
+    D: np.ndarray,
+    cand_ids: np.ndarray,
+    n_valid: np.ndarray | None = None,
+) -> None:
+    """Fold one group's distance block into the running per-query top-k.
+
+    The grouped-scan step shared by the RBC searches: queries ``rows`` (an
+    index array into ``best_d``/``best_i``) were scanned together against
+    the candidate set ``cand_ids``, producing the dense block ``D`` of shape
+    ``(len(rows), len(cand_ids))``.  The block's per-row top-k is selected,
+    mapped to global ids, and merged into ``best_d[rows]``/``best_i[rows]``
+    in place (``best_*`` have ``k`` columns; rows stay sorted ascending).
+
+    ``n_valid`` supports ragged groups scanned as one padded block: row
+    ``t`` only genuinely owns the first ``n_valid[t]`` columns, and the
+    caller must have set the padded entries of ``D`` to ``+inf``.  Selected
+    entries beyond a row's valid count are converted to ``inf``/``EMPTY_IDX``
+    padding instead of being reported as candidates.
+    """
+    k = best_d.shape[1]
+    d, li = topk_of_block(D, k)
+    if n_valid is not None:
+        invalid = li >= np.asarray(n_valid)[:, None]
+        d = np.where(invalid, np.inf, d)
+        li = np.where(invalid, EMPTY_IDX, li)
+    gi = np.where(li >= 0, cand_ids[np.clip(li, 0, None)], EMPTY_IDX)
+    best_d[rows], best_i[rows] = merge_topk((best_d[rows], best_i[rows]), (d, gi))
 
 
 def dedupe_rows(

@@ -24,6 +24,7 @@ begins).
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
@@ -119,39 +120,60 @@ class TraceRecorder:
     A recorder is optional everywhere: the module-level :data:`NULL_RECORDER`
     swallows records with near-zero overhead so production search paths pay
     nothing when tracing is off.
+
+    The recorder is thread-safe: the *open* phase is thread-local, so tasks
+    mapped over a :class:`~repro.parallel.pool.ThreadExecutor` each collect
+    their ops into their own phase (appended to the shared trace under a
+    lock when the phase closes).  The resulting phase multiset — names, op
+    counts, flops, bytes — is identical to a serial run; only the order in
+    which concurrently-closed phases land in ``trace.phases`` can differ,
+    which the machine models are insensitive to (phases are replayed as
+    barrier-delimited groups either way).
     """
 
     enabled = True
 
     def __init__(self) -> None:
         self.trace = Trace()
-        self._current: Phase | None = None
+        self._tls = threading.local()
+        self._lock = threading.Lock()
+
+    @property
+    def _current(self) -> Phase | None:
+        """This thread's open phase (``None`` outside any phase)."""
+        return getattr(self._tls, "current", None)
 
     @contextmanager
     def phase(self, name: str):
-        """Open a phase; ops recorded inside belong to it.
+        """Open a phase; ops recorded inside (by this thread) belong to it.
 
         Nested phases are flattened into the outermost one — an algorithm
         composed of traced sub-algorithms (RBC calling BF) keeps the
-        caller's barrier structure.
+        caller's barrier structure.  Each thread has its own notion of the
+        open phase, so concurrent tasks cannot append ops to one another's
+        phases.
         """
         if self._current is not None:
             yield self
             return
-        self._current = Phase(name)
+        opened = Phase(name)
+        self._tls.current = opened
         try:
             yield self
         finally:
-            if self._current.ops:
-                self.trace.phases.append(self._current)
-            self._current = None
+            self._tls.current = None
+            if opened.ops:
+                with self._lock:
+                    self.trace.phases.append(opened)
 
     def record(self, op: Op) -> None:
-        if self._current is None:
+        current = self._current
+        if current is None:
             # op outside any phase gets its own barrier-delimited phase
-            self.trace.phases.append(Phase(op.tag or op.kind, [op]))
+            with self._lock:
+                self.trace.phases.append(Phase(op.tag or op.kind, [op]))
         else:
-            self._current.ops.append(op)
+            current.ops.append(op)
 
 
 class _NullRecorder(TraceRecorder):

@@ -61,6 +61,66 @@ def test_process_backend_rejects_metric_instance(small_vectors):
         bf_knn_processes(Q, X, Euclidean(), k=1)
 
 
+def test_bf_knn_processes_executor_matches_serial(small_vectors):
+    # the regression this guards: executor="processes" used to crash with a
+    # pickle error on the chunk closure
+    X, Q = small_vectors
+    d1, i1 = bf_knn(Q, X, k=4)
+    d2, i2 = bf_knn(Q, X, k=4, executor="processes", row_chunk=64)
+    np.testing.assert_allclose(d1, d2)
+    np.testing.assert_array_equal(i1, i2)
+
+
+def test_bf_knn_processes_counter_credit(small_vectors):
+    X, Q = small_vectors
+    m = get_metric("euclidean")
+    before = m.counter.n_evals
+    bf_knn(Q, X, m, k=2, executor="processes")
+    assert m.counter.n_evals - before == Q.shape[0] * X.shape[0]
+
+
+def test_bf_knn_processes_string_metric():
+    # non-vector metrics can't use shared memory; they go through the
+    # pickled-chunk worker, rebuilt by registry name in each worker
+    S = ["cat", "cart", "dog", "dig", "cot", "cut", "coat", "dart"]
+    Q = ["cut", "dug"]
+    d1, i1 = bf_knn(Q, S, "edit", k=3)
+    d2, i2 = bf_knn(Q, S, "edit", k=3, executor="processes", row_chunk=1)
+    np.testing.assert_array_equal(d1, d2)
+
+
+def test_bf_knn_processes_default_instance_routed(small_vectors):
+    # a pristine registry-metric instance is equivalent to its name and is
+    # accepted; only customized instances are rejected
+    X, Q = small_vectors
+    d1, _ = bf_knn(Q, X, k=2)
+    d2, _ = bf_knn(Q, X, Euclidean(), k=2, executor="processes")
+    np.testing.assert_allclose(d1, d2)
+
+
+def test_bf_knn_processes_custom_instance_raises(small_vectors):
+    from repro.metrics import Minkowski
+
+    X, Q = small_vectors
+    with pytest.raises(TypeError, match="registry"):
+        bf_knn(Q, X, Minkowski(p=4.0), k=2, executor="processes")
+
+
+def test_bf_knn_processes_tracing_raises(small_vectors):
+    X, Q = small_vectors
+    with pytest.raises(ValueError, match="trace"):
+        bf_knn(Q, X, k=2, executor="processes", recorder=TraceRecorder())
+
+
+def test_bf_knn_processes_ids_restriction(small_vectors, rng):
+    X, Q = small_vectors
+    L = rng.choice(X.shape[0], size=31, replace=False)
+    d1, i1 = bf_knn(Q, X, k=3, ids=L)
+    d2, i2 = bf_knn(Q, X, k=3, ids=L, executor="processes")
+    np.testing.assert_allclose(d1, d2)
+    assert set(i2.ravel()) <= set(L.tolist())
+
+
 def test_ids_restriction(small_vectors, rng):
     X, Q = small_vectors
     L = rng.choice(X.shape[0], size=37, replace=False)
