@@ -15,6 +15,8 @@ above the 2x target) and identical answers.
 
 from __future__ import annotations
 
+import json
+import pathlib
 import time
 
 import numpy as np
@@ -23,6 +25,8 @@ from conftest import bench_once
 from repro.core import ExactRBC
 from repro.eval import format_table
 from repro.parallel import bf_knn
+
+BENCH_JSON = pathlib.Path(__file__).resolve().parents[1] / "BENCH_kernels.json"
 
 #: the headline config from the issue: d=4 Gaussian, n=20k, m=1k queries
 N, M, DIM = 20_000, 1_000, 4
@@ -69,6 +73,17 @@ def test_stage2_batched_beats_brute_wall_clock(benchmark, report):
         title=f"Batched stage 2 vs brute force (n={N}, m={M}, k={K})",
     )
     report("stage2_batched", text)
+
+    # append the headline numbers to the machine-readable perf log shared
+    # with the kernel-engine benchmark
+    payload = {}
+    if BENCH_JSON.exists():
+        payload = json.loads(BENCH_JSON.read_text())
+    payload["stage2_batched"] = {
+        "config": {"n": N, "m": M, "k": K},
+        "cases": results,
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
 
     headline = results[0]
     assert headline["dim"] == 4

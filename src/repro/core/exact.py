@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..metrics.engine import refine_topk
 from ..parallel.blocking import row_chunks
 from ..parallel.bruteforce import _is_batch, _record_dist_tile, _record_select
 from ..parallel.pool import ProcessExecutor, SerialExecutor, get_executor
@@ -145,14 +146,17 @@ class ExactRBC(RBCBase):
             raise ValueError("approx_eps must be >= 0")
         stats = SearchStats()
         nr = self.n_reps
+        engine = self._engine_active()
+        fp32 = engine and self.dtype == "float32"
 
         Qb = Q if _is_batch(self.metric, Q) else self.metric._as_batch(Q)
         m = self.metric.length(Qb)
         stats.n_queries = m
+        Qp = self.metric.prepare(Qb, dtype=self.dtype) if engine else None
 
         # ---- stage 1: BF(Q, R) with all distances retained
         evals0 = self.metric.counter.n_evals
-        D_R = self._stage1_distances(Qb, recorder)
+        D_R = self._stage1_distances(Qb, recorder, Qp=Qp)
         stats.stage1_evals = self.metric.counter.n_evals - evals0
 
         # gamma = distance to the k-th nearest representative (upper bound
@@ -176,6 +180,10 @@ class ExactRBC(RBCBase):
             exec_ = get_executor(self.executor)
             owns_exec = self.executor is None or isinstance(self.executor, str)
 
+        # float32 mode keeps extra result slots so rounding noise cannot
+        # evict the true k-th neighbor before the float64 refinement
+        k_out = k + max(8, k) if fp32 else k
+
         def task(chunk):
             lo, hi = chunk
             return self._stage2_chunk(
@@ -193,6 +201,9 @@ class ExactRBC(RBCBase):
                 use_3gamma_rule,
                 use_trim,
                 recorder,
+                Qp=Qp,
+                k_out=k_out,
+                fp32=fp32,
             )
 
         chunks = row_chunks(m, 256)
@@ -209,6 +220,9 @@ class ExactRBC(RBCBase):
 
         dist = np.concatenate([p[0] for p in parts], axis=0)
         idx = np.concatenate([p[1] for p in parts], axis=0)
+        if fp32:
+            # exact float64 re-score and re-rank of the float32 candidates
+            dist, idx = refine_topk(self.metric, Qb, self.X, idx, k)
         for p in parts:
             sub = p[2]
             stats.pruned_by_psi += sub.pruned_by_psi
@@ -218,19 +232,39 @@ class ExactRBC(RBCBase):
         self.last_stats = stats
         return dist, idx
 
-    def _stage1_distances(self, Qb, recorder: TraceRecorder) -> np.ndarray:
-        """Full (m, n_reps) distance matrix, computed in row chunks."""
+    def _stage1_distances(
+        self, Qb, recorder: TraceRecorder, Qp=None
+    ) -> np.ndarray:
+        """Full (m, n_reps) distance matrix, computed in row chunks.
+
+        With a prepared query block ``Qp`` the engine path runs: cached
+        representative operands, no coercion, no norm recomputation
+        (bit-identical values in float64; float32 results are widened back
+        to float64 so downstream pruning arithmetic is uniform).
+        """
         m = self.metric.length(Qb)
         dim = self.metric.dim(self.rep_data)
         out = np.empty((m, self.n_reps))
         with recorder.phase("exact:stage1"):
-            for lo, hi in row_chunks(m, 1024):
-                Qc = self.metric.take(Qb, np.arange(lo, hi))
-                out[lo:hi] = self.metric.pairwise(Qc, self.rep_data)
-                _record_dist_tile(
-                    recorder, self.metric, hi - lo, self.n_reps, dim,
-                    "exact:stage1",
-                )
+            if Qp is not None:
+                Rp = self._prepared_reps()
+                itemsize = float(Qp.data.dtype.itemsize)
+                for lo, hi in row_chunks(m, 1024):
+                    out[lo:hi] = self.metric.pairwise_prepared(
+                        Qp.slice(lo, hi), Rp
+                    )
+                    _record_dist_tile(
+                        recorder, self.metric, hi - lo, self.n_reps, dim,
+                        "exact:stage1", itemsize=itemsize,
+                    )
+            else:
+                for lo, hi in row_chunks(m, 1024):
+                    Qc = self.metric.take(Qb, np.arange(lo, hi))
+                    out[lo:hi] = self.metric.pairwise(Qc, self.rep_data)
+                    _record_dist_tile(
+                        recorder, self.metric, hi - lo, self.n_reps, dim,
+                        "exact:stage1",
+                    )
         return out
 
     def _rep_positions(self) -> tuple[np.ndarray, np.ndarray]:
@@ -271,6 +305,9 @@ class ExactRBC(RBCBase):
         use_3gamma_rule,
         use_trim,
         recorder,
+        Qp=None,
+        k_out=None,
+        fp32=False,
     ):
         """Batched pruning + grouped stage 2 for queries ``lo..hi``.
 
@@ -292,24 +329,39 @@ class ExactRBC(RBCBase):
         Pruning/trim/candidate counters are identical to the per-query
         formulation; stage-2 distance evaluations may exceed the per-query
         count by the group padding (real work the dense kernel performs).
+
+        With a prepared query block ``Qp`` the group scans run on the
+        engine: each trimmed prefix is a contiguous row slice of the cached
+        pre-gathered candidate matrix and ``squared_ok`` metrics rank in
+        the squared domain (the root is applied only to the ``(c, k)``
+        result).  ``fp32`` widens every pruning/trim bound by a relative
+        slack so float32 rounding cannot discard a true neighbor's list;
+        the caller refines the returned candidates in float64.
         """
         sub = SearchStats()
         nr = self.n_reps
         c = hi - lo
+        k_out = k if k_out is None else k_out
         dim = self.metric.dim(self.rep_data)
         Dc = D_R[lo:hi]
         ge = gamma_eff[lo:hi]
+        # relative slack on the pruning bounds in float32 mode (float32
+        # kernels carry ~1e-7 relative error; 1e-4 leaves ample headroom at
+        # negligible extra candidate cost)
+        slack = 1e-4 if fp32 else 0.0
 
         # ---- rules, broadcast over the whole chunk
         keep = np.ones((c, nr), dtype=bool)
         if use_psi_rule:
             # inequality (1): rho(q,r) >= gamma + psi_r  =>  discard
-            kept = Dc - psi[None, :] < ge[:, None]
+            tol = slack * (np.abs(Dc) + psi[None, :]) if fp32 else 0.0
+            kept = Dc - psi[None, :] < ge[:, None] + tol
             sub.pruned_by_psi += int(c * nr - np.count_nonzero(kept))
             keep &= kept
         if use_3gamma_rule:
             # inequality (2) via Lemma 1
-            kept = Dc <= 3.0 * gamma[lo:hi][:, None]
+            tol = 4.0 * slack * np.abs(Dc) if fp32 else 0.0
+            kept = Dc <= 3.0 * gamma[lo:hi][:, None] + tol
             sub.pruned_by_3gamma += int(np.count_nonzero(keep & ~kept))
             keep &= kept
 
@@ -322,8 +374,9 @@ class ExactRBC(RBCBase):
                 continue
             rows = np.flatnonzero(keep[:, j])
             if use_trim:
+                bound = Dc[rows, j] + ge[rows]
                 cut = np.searchsorted(
-                    self.list_dists[j], Dc[rows, j] + ge[rows], side="right"
+                    self.list_dists[j], bound * (1.0 + slack), side="right"
                 )
                 sub.trimmed_by_4gamma += int(rows.size * lst.size - cut.sum())
                 cuts[rows, j] = cut
@@ -343,8 +396,33 @@ class ExactRBC(RBCBase):
         in_parts = so_ok & (rep_pos[seed_cols] < cut_at)
         sub.candidates_examined += int(cuts.sum() + np.count_nonzero(~in_parts))
 
-        dists = np.full((c, k), np.inf)
-        idxs = np.full((c, k), EMPTY_IDX, dtype=np.int64)
+        engine = Qp is not None
+        if engine:
+            Cp = self._prepared_cands()
+            packed = self._packed
+            squared = self.metric.squared_ok
+            itemsize = float(Qp.data.dtype.itemsize)
+            # gamma bounds the k-th NN distance (the k seed representatives
+            # are candidates at distance <= gamma), so any scanned candidate
+            # beyond it can never enter the final top-k.  The engine path
+            # exploits this: instead of an argpartition+merge per group, a
+            # single compare keeps the few survivors per query and one
+            # lexsort per chunk ranks them at the end.  The threshold is
+            # widened by a relative slack so rounding can only admit extra
+            # survivors (harmless), never exclude a true neighbor.
+            g_chunk = gamma[lo:hi]
+            thr = (
+                self.metric.to_squared(g_chunk) if squared else g_chunk
+            ) * (1.0 + (1e-4 if fp32 else 1e-9))
+            acc_r: list[np.ndarray] = []
+            acc_d: list[np.ndarray] = []
+            acc_g: list[np.ndarray] = []
+        else:
+            squared = False
+            itemsize = 8.0
+
+        dists = np.full((c, k_out), np.inf)
+        idxs = np.full((c, k_out), EMPTY_IDX, dtype=np.int64)
         # DRAM traffic model: a candidate vector is streamed from memory the
         # first time any query in this chunk touches it and served from
         # cache afterwards, so the chunk charges each unique candidate once
@@ -366,9 +444,18 @@ class ExactRBC(RBCBase):
                 cut = cuts[rows, j]
                 prefix_len = int(cut.max())
                 prefix = self.lists[j][:prefix_len]
-                Qg = self.metric.take(Qb, lo + rows)
-                D = self.metric.pairwise(Qg, self.metric.take(self.X, prefix))
-                if int(cut.min()) < prefix_len:
+                if engine:
+                    plo = int(packed.starts[j])
+                    D = self.metric.pairwise_prepared(
+                        Qp.take(lo + rows),
+                        Cp.slice(plo, plo + prefix_len),
+                        squared=squared,
+                    )
+                else:
+                    Qg = self.metric.take(Qb, lo + rows)
+                    D = self.metric.pairwise(Qg, self.metric.take(self.X, prefix))
+                ragged = int(cut.min()) < prefix_len
+                if ragged and not engine:
                     # ragged group scanned as one padded block: a row only
                     # owns its own trimmed prefix
                     D[np.arange(prefix_len)[None, :] >= cut[:, None]] = np.inf
@@ -376,10 +463,25 @@ class ExactRBC(RBCBase):
                     touched[prefix] = True
                 _record_dist_tile(
                     recorder, self.metric, rows.size, prefix_len, dim,
-                    "exact:stage2",
+                    "exact:stage2", itemsize=itemsize,
                 )
                 _record_select(recorder, rows.size, prefix_len, "exact:stage2")
-                merge_group_topk(dists, idxs, rows, D, prefix, n_valid=cut)
+                if engine:
+                    mask = D <= thr[rows][:, None]
+                    if ragged:
+                        # fold the ragged-prefix ownership into the same
+                        # mask instead of writing inf padding into D
+                        mask &= np.arange(prefix_len)[None, :] < cut[:, None]
+                    # 1-D nonzero + divmod beats 2-D nonzero by ~2x here
+                    flat = np.flatnonzero(mask)
+                    rr, cc = np.divmod(flat, prefix_len)
+                    acc_r.append(rows[rr])
+                    acc_d.append(
+                        D.reshape(-1)[flat].astype(np.float64, copy=False)
+                    )
+                    acc_g.append(prefix[cc])
+                else:
+                    merge_group_topk(dists, idxs, rows, D, prefix, n_valid=cut)
                 if recorder.enabled:
                     recorder.record(
                         Op(
@@ -395,16 +497,41 @@ class ExactRBC(RBCBase):
             sd = np.take_along_axis(Dc, seed_cols, axis=1).astype(
                 np.float64, copy=True
             )
+            if squared:
+                # accumulators hold squared distances; lift the seeds into
+                # the same domain before merging
+                sd = self.metric.to_squared(sd)
             sd[in_parts] = np.inf
             sg = self.rep_ids[seed_cols]
-            d_s, li = topk_of_block(sd, k)
-            gi = np.where(
-                li >= 0,
-                np.take_along_axis(sg, np.clip(li, 0, None), axis=1),
-                EMPTY_IDX,
-            )
-            gi = np.where(np.isfinite(d_s), gi, EMPTY_IDX)
-            dists, idxs = merge_topk((dists, idxs), (d_s, gi))
+            if engine:
+                # seeds are at distance <= gamma <= thr by construction, so
+                # they join the survivor pool unconditionally
+                srr, scc = np.nonzero(np.isfinite(sd))
+                acc_r.append(srr)
+                acc_d.append(sd[srr, scc])
+                acc_g.append(sg[srr, scc])
+                r_all = np.concatenate(acc_r)
+                d_all = np.concatenate(acc_d)
+                g_all = np.concatenate(acc_g)
+                # one ranking pass over all survivors: stable sort by
+                # (query row, distance), then each row keeps its first k_out
+                order = np.lexsort((d_all, r_all))
+                r_s = r_all[order]
+                rank = np.arange(r_s.size) - np.searchsorted(
+                    r_s, np.arange(c + 1)
+                )[r_s]
+                sel = rank < k_out
+                dists[r_s[sel], rank[sel]] = d_all[order][sel]
+                idxs[r_s[sel], rank[sel]] = g_all[order][sel]
+            else:
+                d_s, li = topk_of_block(sd, k_out)
+                gi = np.where(
+                    li >= 0,
+                    np.take_along_axis(sg, np.clip(li, 0, None), axis=1),
+                    EMPTY_IDX,
+                )
+                gi = np.where(np.isfinite(d_s), gi, EMPTY_IDX)
+                dists, idxs = merge_topk((dists, idxs), (d_s, gi))
             if recorder.enabled:
                 recorder.record(
                     Op(
@@ -420,10 +547,12 @@ class ExactRBC(RBCBase):
                     Op(
                         kind="memcpy",
                         flops=0.0,
-                        bytes=8.0 * dim * float(touched.sum()),
+                        bytes=itemsize * dim * float(touched.sum()),
                         tag="exact:stage2-stream",
                     )
                 )
+        if squared:
+            dists = self.metric.from_squared(dists)
         return dists, idxs, sub
 
     # ------------------------------------------------------ dynamic updates
@@ -443,8 +572,7 @@ class ExactRBC(RBCBase):
         )[0]
         j = int(np.argmin(d))
         pos = int(np.searchsorted(self.list_dists[j], d[j]))
-        self.lists[j] = np.insert(self.lists[j], pos, gid)
-        self.list_dists[j] = np.insert(self.list_dists[j], pos, d[j])
+        self._packed.insert(j, pos, gid, float(d[j]))
         self.radii[j] = max(self.radii[j], float(d[j]))
         return gid
 
@@ -463,13 +591,13 @@ class ExactRBC(RBCBase):
         gid = int(gid)
         self._tombstone(gid)
 
+        packed = self._packed
         rep_pos = np.flatnonzero(self.rep_ids == gid)
         if rep_pos.size == 0:
-            for j in range(len(self.lists)):
-                hit = np.flatnonzero(self.lists[j] == gid)
+            for j in range(packed.n_lists):
+                hit = np.flatnonzero(packed.ids_of(j) == gid)
                 if hit.size:
-                    self.lists[j] = np.delete(self.lists[j], hit[0])
-                    self.list_dists[j] = np.delete(self.list_dists[j], hit[0])
+                    packed.delete_at(j, int(hit[0]))
                     return
             raise AssertionError(f"point {gid} missing from every list")
 
@@ -478,12 +606,12 @@ class ExactRBC(RBCBase):
             raise ValueError(
                 "cannot delete the only representative; rebuild the index"
             )
-        orphans = self.lists[j][self.lists[j] != gid]
+        lst = packed.ids_of(j)
+        orphans = lst[lst != gid].copy()
         # drop representative j
         self.rep_ids = np.delete(self.rep_ids, j)
         self.rep_data = self.metric.take(self.X, self.rep_ids)
-        del self.lists[j]
-        del self.list_dists[j]
+        packed.drop(j)
         self.radii = np.delete(self.radii, j)
         if orphans.size:
             # reassign orphans to their nearest surviving representative
@@ -494,11 +622,10 @@ class ExactRBC(RBCBase):
             dist = D[np.arange(orphans.size), owner]
             for t in np.unique(owner):
                 sel = owner == t
-                merged_ids = np.concatenate([self.lists[t], orphans[sel]])
-                merged_d = np.concatenate([self.list_dists[t], dist[sel]])
+                merged_ids = np.concatenate([packed.ids_of(t), orphans[sel]])
+                merged_d = np.concatenate([packed.dists_of(t), dist[sel]])
                 order = np.argsort(merged_d, kind="stable")
-                self.lists[t] = merged_ids[order]
-                self.list_dists[t] = merged_d[order]
+                packed.replace(t, merged_ids[order], merged_d[order])
                 self.radii[t] = max(self.radii[t], float(merged_d.max()))
 
     def range_query(
@@ -525,10 +652,20 @@ class ExactRBC(RBCBase):
             raise ValueError("eps must be non-negative")
         Qb = Q if _is_batch(self.metric, Q) else self.metric._as_batch(Q)
         m = self.metric.length(Qb)
-        D_R = self._stage1_distances(Qb, recorder)
+        engine = self._engine_active()
+        fp32 = engine and self.dtype == "float32"
+        Qp = self.metric.prepare(Qb, dtype=self.dtype) if engine else None
+        if engine:
+            Cp = self._prepared_cands()
+            packed = self._packed
+            itemsize = float(Qp.data.dtype.itemsize)
+        D_R = self._stage1_distances(Qb, recorder, Qp=Qp)
         dim = self.metric.dim(self.rep_data)
+        # float32 windows/thresholds are slack-widened; candidate hits are
+        # then verified with the exact float64 distance
+        slack = 1e-4 if fp32 else 0.0
 
-        keep = D_R <= eps + self.radii[None, :]
+        keep = D_R <= (eps + self.radii[None, :]) * (1.0 + slack)
         parts_d: list[list[np.ndarray]] = [[] for _ in range(m)]
         parts_i: list[list[np.ndarray]] = [[] for _ in range(m)]
         with recorder.phase("exact:range"):
@@ -538,8 +675,9 @@ class ExactRBC(RBCBase):
                 if lst.size == 0:
                     continue
                 rows = np.flatnonzero(keep[:, j])
-                lsl = np.searchsorted(ld, D_R[rows, j] - eps, side="left")
-                lsr = np.searchsorted(ld, D_R[rows, j] + eps, side="right")
+                tol = slack * (np.abs(D_R[rows, j]) + eps)
+                lsl = np.searchsorted(ld, D_R[rows, j] - eps - tol, side="left")
+                lsr = np.searchsorted(ld, D_R[rows, j] + eps + tol, side="right")
                 nonempty = lsr > lsl
                 rows, lsl, lsr = rows[nonempty], lsl[nonempty], lsr[nonempty]
                 if rows.size == 0:
@@ -548,18 +686,41 @@ class ExactRBC(RBCBase):
                 # its own two-sided slice
                 wlo, whi = int(lsl.min()), int(lsr.max())
                 window = lst[wlo:whi]
-                D = self.metric.pairwise(
-                    self.metric.take(Qb, rows), self.metric.take(self.X, window)
-                )
-                _record_dist_tile(
-                    recorder, self.metric, rows.size, window.size, dim,
-                    "exact:range",
-                )
+                if engine:
+                    plo = int(packed.starts[j])
+                    D = self.metric.pairwise_prepared(
+                        Qp.take(rows), Cp.slice(plo + wlo, plo + whi)
+                    )
+                    _record_dist_tile(
+                        recorder, self.metric, rows.size, window.size, dim,
+                        "exact:range", itemsize=itemsize,
+                    )
+                else:
+                    D = self.metric.pairwise(
+                        self.metric.take(Qb, rows),
+                        self.metric.take(self.X, window),
+                    )
+                    _record_dist_tile(
+                        recorder, self.metric, rows.size, window.size, dim,
+                        "exact:range",
+                    )
                 cols = np.arange(wlo, whi)[None, :]
-                hit = (cols >= lsl[:, None]) & (cols < lsr[:, None]) & (D <= eps)
+                eps_scan = eps + slack * (1.0 + np.abs(D)) if fp32 else eps
+                hit = (cols >= lsl[:, None]) & (cols < lsr[:, None]) & (D <= eps_scan)
                 for t, i_row in enumerate(rows):
                     sel = np.flatnonzero(hit[t])
-                    if sel.size:
+                    if not sel.size:
+                        continue
+                    if fp32:
+                        # exact float64 verification of the float32 hits
+                        d = self.metric.pairwise(
+                            self.metric.take(Qb, [i_row]),
+                            self.metric.take(self.X, window[sel]),
+                        )[0]
+                        inside = d <= eps
+                        parts_d[i_row].append(d[inside])
+                        parts_i[i_row].append(window[sel][inside])
+                    else:
                         parts_d[i_row].append(D[t, sel])
                         parts_i[i_row].append(window[sel])
 

@@ -19,9 +19,16 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..metrics.engine import refine_topk
 from ..parallel.bruteforce import _is_batch, _record_dist_tile, bf_knn
-from ..parallel.reduce import EMPTY_IDX, dedupe_rows, merge_group_topk
-from ..simulator.trace import NULL_RECORDER, Op, TraceRecorder
+from ..parallel.reduce import (
+    EMPTY_IDX,
+    dedupe_rows,
+    merge_group_topk,
+    merge_topk,
+    topk_of_block,
+)
+from ..simulator.trace import NULL_RECORDER, TraceRecorder
 from .params import oneshot_params
 from .rbc import RBCBase, sample_representatives
 from .stats import SearchStats
@@ -113,9 +120,13 @@ class OneShotRBC(RBCBase):
             raise ValueError("k and n_probes must be >= 1")
         n_probes = min(n_probes, self.n_reps)
         stats = SearchStats()
+        engine = self._engine_active()
+        fp32 = engine and self.dtype == "float32"
 
         evals0 = self.metric.counter.n_evals
-        # stage 1: nearest representative(s) by brute force
+        # stage 1: nearest representative(s) by brute force (the engine
+        # passes the cached prepared representative block, so nothing about
+        # R is recomputed across query batches)
         _, rep_local = bf_knn(
             Q,
             self.rep_data,
@@ -123,6 +134,7 @@ class OneShotRBC(RBCBase):
             k=n_probes,
             executor=self.executor,
             recorder=recorder,
+            x_prepared=self._prepared_reps() if engine else None,
         )
         stats.stage1_evals = self.metric.counter.n_evals - evals0
         m = rep_local.shape[0]
@@ -134,38 +146,174 @@ class OneShotRBC(RBCBase):
         # Lists overlap under multi-probe, so a candidate can arrive through
         # several lists; carry k * n_probes merge slots so duplicates cannot
         # push a genuine neighbor past the merge window, then dedupe to k.
-        kk = k * n_probes
+        # The float32 path carries extra slack slots so rounding noise in
+        # the low-precision scan cannot evict a true neighbor before the
+        # float64 refinement re-ranks.
+        kk = k * n_probes + (max(8, k) if fp32 else 0)
         best_d = np.full((m, kk), np.inf)
         best_i = np.full((m, kk), EMPTY_IDX, dtype=np.int64)
         evals1 = self.metric.counter.n_evals
+
+        if engine:
+            # prepared operands: queries coerced once, candidate lists are
+            # contiguous row slices of the pre-gathered candidate matrix,
+            # and squared_ok metrics rank in the squared domain
+            Qp = self.metric.prepare(Qb, dtype=self.dtype)
+            Cp = self._prepared_cands()
+            packed = self._packed
+            squared = self.metric.squared_ok
+            itemsize = float(Qp.data.dtype.itemsize)
+        else:
+            squared = False
+
+        # A fresh one-shot build gives every representative a list of
+        # exactly ``s`` entries in tight packed layout, so the per-rep scan
+        # collapses to ONE batched (rep, group, s) matmul plus a single
+        # top-k over all groups — no per-group Python iteration at all.
+        # Dynamic updates break the uniform layout; the group loop below
+        # remains the general path (and the traced path: the batched kernel
+        # is a pure speedup with identical results, not a new trace shape).
+        L = int(packed.lengths[0]) if engine and packed.n_lists else 0
+        use_batched = (
+            engine
+            and not recorder.enabled
+            and L > 0
+            and packed.capacity == packed.total
+            and bool(np.all(packed.lengths == L))
+            and (
+                (squared and Cp.sqnorms is not None)
+                or (not squared and Cp.norms is not None)
+            )
+            and getattr(self.metric, "prepared_kernel", None)
+            in ("gram", "angular")
+        )
+
         with recorder.phase("oneshot:stage2"):
             for probe in range(n_probes):
                 choice = rep_local[:, probe]
+                if use_batched:
+                    self._stage2_batched(
+                        Qp, Cp, choice, best_d, best_i, squared,
+                        merge=(probe > 0),
+                    )
+                    self.metric.counter.add(int(m * L))
+                    stats.candidates_examined += int(m * L)
+                    continue
                 for rep in np.unique(choice):
                     rows = np.flatnonzero(choice == rep)
                     cand = self.lists[rep]
                     if cand.size == 0:
                         continue
-                    Qg = self.metric.take(Qb, rows)
-                    D = self.metric.pairwise(Qg, self.metric.take(self.X, cand))
-                    _record_dist_tile(
-                        recorder,
-                        self.metric,
-                        rows.size,
-                        cand.size,
-                        self.metric.dim(self.rep_data),
-                        "oneshot:stage2",
-                    )
+                    if engine:
+                        lo, hi = packed.span(rep)
+                        D = self.metric.pairwise_prepared(
+                            Qp.take(rows), Cp.slice(lo, hi), squared=squared
+                        )
+                        _record_dist_tile(
+                            recorder,
+                            self.metric,
+                            rows.size,
+                            cand.size,
+                            self.metric.dim(self.rep_data),
+                            "oneshot:stage2",
+                            itemsize=itemsize,
+                        )
+                    else:
+                        Qg = self.metric.take(Qb, rows)
+                        D = self.metric.pairwise(Qg, self.metric.take(self.X, cand))
+                        _record_dist_tile(
+                            recorder,
+                            self.metric,
+                            rows.size,
+                            cand.size,
+                            self.metric.dim(self.rep_data),
+                            "oneshot:stage2",
+                        )
                     merge_group_topk(best_d, best_i, rows, D, cand)
                     stats.candidates_examined += int(D.size)
         stats.stage2_evals = self.metric.counter.n_evals - evals1
 
+        if squared:
+            best_d = self.metric.from_squared(best_d)
         if n_probes > 1:
-            best_d, best_i = dedupe_rows(best_d, best_i, k)
-        else:
+            best_d, best_i = dedupe_rows(best_d, best_i, kk if fp32 else k)
+        if fp32:
+            # exact float64 re-score of the float32-selected candidates
+            best_d, best_i = refine_topk(self.metric, Qb, self.X, best_i, k)
+        elif n_probes == 1:
             best_d, best_i = best_d[:, :k], best_i[:, :k]
         self.last_stats = stats
         return best_d, best_i
+
+    def _stage2_batched(
+        self, Qp, Cp, choice, best_d, best_i, squared, *, merge
+    ) -> None:
+        """One-probe stage 2 as a single batched block-diagonal kernel.
+
+        Queries are sorted by chosen representative and padded to the
+        largest group, the uniform ``(n_reps, s, d)`` candidate tensor is a
+        reshape of the packed storage, and one ``np.matmul`` over the
+        ``(rep, group, s)`` batch replaces the per-representative loop.
+        The per-row top-k then runs once over all groups.  Padding rows
+        (repeated queries) are discarded before the write-back, so results
+        are identical to the grouped loop.
+        """
+        if choice.size == 0:
+            return
+        packed = self._packed
+        L = int(packed.lengths[0])
+        nlists = packed.n_lists
+        m, kk = best_d.shape
+        dim = Qp.data.shape[1]
+        kc = min(kk, L)
+        order_q = np.argsort(choice, kind="stable")
+        uniq, ustarts, counts = np.unique(
+            choice[order_q], return_index=True, return_counts=True
+        )
+        seg_ids = packed.ids.reshape(nlists, L)
+        C3all = Cp.data.reshape(nlists, L, dim)
+        ext_all = (Cp.sqnorms if squared else Cp.norms).reshape(nlists, L)
+        # representatives are bucketed by their exact group size, so every
+        # batched matmul is dense — no padding rows, no wasted selection
+        for cnt in np.unique(counts):
+            bsel = counts == cnt
+            reps_b = uniq[bsel]
+            qidx = (
+                ustarts[bsel][:, None] + np.arange(cnt)[None, :]
+            )  # (Rb, cnt) positions in order_q
+            qidx = order_q[qidx]
+            G = np.matmul(
+                Qp.data[qidx], C3all[reps_b].transpose(0, 2, 1)
+            )  # (Rb, cnt, L)
+            if squared:
+                G *= -2.0
+                G += Qp.sqnorms[qidx][:, :, None]
+                G += ext_all[reps_b][:, None, :]
+                np.maximum(G, 0.0, out=G)
+            else:
+                G /= Qp.norms[qidx][:, :, None] * ext_all[reps_b][:, None, :]
+                np.clip(G, -1.0, 1.0, out=G)
+                np.arccos(G, out=G)
+            rb = reps_b.size
+            d_sel, li = topk_of_block(G.reshape(rb * cnt, L), kc)
+            g_sel = np.take_along_axis(
+                seg_ids[reps_b][:, None, :], li.reshape(rb, cnt, kc), axis=2
+            ).reshape(rb * cnt, kc)
+            rows_flat = qidx.reshape(-1)
+            if kc < kk:
+                dpad = np.full((rows_flat.size, kk), np.inf)
+                dpad[:, :kc] = d_sel
+                ipad = np.full((rows_flat.size, kk), EMPTY_IDX, dtype=np.int64)
+                ipad[:, :kc] = g_sel
+                d_sel, g_sel = dpad, ipad
+            if merge:
+                nd, ni = merge_topk(
+                    (best_d[rows_flat], best_i[rows_flat]), (d_sel, g_sel)
+                )
+                best_d[rows_flat], best_i[rows_flat] = nd, ni
+            else:
+                best_d[rows_flat] = d_sel
+                best_i[rows_flat] = g_sel
 
     # ------------------------------------------------------ dynamic updates
     def insert(self, x) -> int:
@@ -188,8 +336,7 @@ class OneShotRBC(RBCBase):
         targets.add(int(np.argmin(d)))
         for j in targets:
             pos = int(np.searchsorted(self.list_dists[j], d[j]))
-            self.lists[j] = np.insert(self.lists[j], pos, gid)
-            self.list_dists[j] = np.insert(self.list_dists[j], pos, d[j])
+            self._packed.insert(j, pos, gid, float(d[j]))
             self.radii[j] = max(self.radii[j], float(d[j]))
         return gid
 
@@ -204,8 +351,8 @@ class OneShotRBC(RBCBase):
         self._require_vector_db("delete")
         gid = int(gid)
         self._tombstone(gid)
-        for j in range(len(self.lists)):
-            hit = np.flatnonzero(self.lists[j] == gid)
+        packed = self._packed
+        for j in range(packed.n_lists):
+            hit = np.flatnonzero(packed.ids_of(j) == gid)
             if hit.size:
-                self.lists[j] = np.delete(self.lists[j], hit[0])
-                self.list_dists[j] = np.delete(self.list_dists[j], hit[0])
+                packed.delete_at(j, int(hit[0]))

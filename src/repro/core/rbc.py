@@ -25,9 +25,11 @@ from __future__ import annotations
 import numpy as np
 
 from ..metrics import get_metric
-from ..metrics.base import Metric
+from ..metrics.base import Metric, VectorMetric
+from ..metrics.engine import check_dtype, operand_cache
 from ..parallel.pool import Executor
 from ..simulator.trace import NULL_RECORDER, TraceRecorder
+from .packed import PackedLists
 from .stats import BuildStats, SearchStats
 
 __all__ = ["RBCBase", "sample_representatives"]
@@ -76,6 +78,15 @@ class RBCBase:
         executor spec forwarded to the brute-force calls.
     rep_scheme:
         ``"bernoulli"`` (paper) or ``"exact"`` representative sampling.
+    dtype:
+        compute dtype for the query-time distance kernels — ``"float64"``
+        (default, exact) or ``"float32"`` (half the GEMM traffic; answers
+        are float64-refined, see docs/performance.md).  Builds always run
+        in float64 so stored list distances/radii stay exact bounds.
+    engine:
+        enable the prepared-operand kernel engine (cached norms, packed
+        candidate gathers).  On by default for vector databases; disable
+        to force the straightforward gather-per-call formulation.
     """
 
     def __init__(
@@ -85,6 +96,8 @@ class RBCBase:
         seed: int | np.random.Generator | None = 0,
         executor: str | Executor | None = None,
         rep_scheme: str = "bernoulli",
+        dtype: str = "float64",
+        engine: bool = True,
     ) -> None:
         self.metric = get_metric(metric)
         self.rng = (
@@ -94,6 +107,8 @@ class RBCBase:
         )
         self.executor = executor
         self.rep_scheme = rep_scheme
+        self.dtype = check_dtype(dtype)
+        self.engine = bool(engine)
 
         # populated by build()
         self.X = None
@@ -103,20 +118,44 @@ class RBCBase:
         self._active: np.ndarray | None = None
         self.rep_ids: np.ndarray | None = None
         self.rep_data = None
-        #: per-representative arrays of owned global ids, ascending by
-        #: distance to the representative
-        self.lists: list[np.ndarray] = []
-        #: distances aligned with ``lists``
-        self.list_dists: list[np.ndarray] = []
+        #: packed ownership lists (ids + distances + offsets); the
+        #: ``lists``/``list_dists`` properties expose per-list views
+        self._packed: PackedLists | None = None
         #: psi_r = max_{x in L_r} rho(x, r)
         self.radii: np.ndarray | None = None
         self.build_stats: BuildStats | None = None
         self.last_stats: SearchStats | None = None
 
+        #: database append buffer: ``X`` is a length-``n`` view of it once
+        #: the first insert over-allocates (capacity/length split)
+        self._X_buf: np.ndarray | None = None
+        #: version stamp for the prepared-operand caches; bumped by every
+        #: build and dynamic update so stale norms can never be served
+        self._version: int = 0
+        #: per-structure prepared operands: name -> (version, Prepared)
+        self._prep: dict = {}
+
     # ------------------------------------------------------------- helpers
     @property
     def is_built(self) -> bool:
         return self.rep_ids is not None
+
+    @property
+    def lists(self):
+        """Per-representative arrays of owned global ids, ascending by
+        distance to the representative (contiguous views into the packed
+        storage)."""
+        return [] if self._packed is None else self._packed.id_views
+
+    @property
+    def list_dists(self):
+        """Distances aligned with ``lists`` (contiguous views)."""
+        return [] if self._packed is None else self._packed.dist_views
+
+    @property
+    def packed(self) -> PackedLists | None:
+        """The underlying CSR-style list storage."""
+        return self._packed
 
     @property
     def n_reps(self) -> int:
@@ -149,20 +188,73 @@ class RBCBase:
         build_evals: int,
     ) -> None:
         self.X = X
+        self._X_buf = None
         self.n = self.metric.length(X)
         self.rep_ids = rep_ids
         self.rep_data = self.metric.take(X, rep_ids)
-        self.lists = lists
-        self.list_dists = list_dists
+        self._packed = PackedLists(lists, list_dists)
         self.radii = np.array(
-            [d[-1] if d.size else 0.0 for d in list_dists], dtype=np.float64
+            [d[-1] if len(d) else 0.0 for d in list_dists], dtype=np.float64
         )
         self.build_stats = BuildStats(
             n_points=self.n,
             n_reps=int(rep_ids.size),
             build_evals=build_evals,
-            list_sizes=[int(l.size) for l in lists],
+            list_sizes=[len(l) for l in lists],
         )
+        self._bump_version()
+
+    # ------------------------------------------------------- kernel engine
+    def _bump_version(self) -> None:
+        """Invalidate every prepared operand derived from the index state."""
+        self._version += 1
+        self._prep.clear()
+
+    def _engine_active(self) -> bool:
+        """Prepared-operand kernels apply to vector databases only, and the
+        process backend owns its operand copies (no sharing to prepare)."""
+        from ..parallel.pool import ProcessExecutor
+
+        if self.executor == "processes" or isinstance(self.executor, ProcessExecutor):
+            return False
+        return (
+            self.engine
+            and isinstance(self.metric, VectorMetric)
+            and isinstance(self.X, np.ndarray)
+        )
+
+    def _prepared_reps(self):
+        """Prepared representative block (cached until the next update)."""
+        ent = self._prep.get("reps")
+        if ent is None:
+            ent = operand_cache.get(
+                self.metric, self.rep_data, dtype=self.dtype, version=self._version
+            )
+            self._prep["reps"] = ent
+        return ent
+
+    def _prepared_cands(self):
+        """Prepared pre-gathered candidate matrix, aligned with the packed
+        list storage: backing row ``t`` holds the database point
+        ``packed.ids[t]``, so every stage-2 list prefix is a contiguous
+        slice of compute-ready rows (slack rows are zero-filled)."""
+        ent = self._prep.get("cands")
+        if ent is None:
+            packed = self._packed
+            # clip slack/stale ids into range: those rows are never read
+            safe_ids = np.clip(packed.ids, 0, self.n - 1)
+            for j in range(packed.n_lists):
+                lo, hi = packed.span(j)
+                safe_ids[hi : packed.starts[j + 1]] = 0
+            gathered = self.X[safe_ids]
+            ent = operand_cache.get(
+                self.metric, gathered, dtype=self.dtype, version=self._version
+            )
+            # keep the gathered matrix alive alongside its prepared form
+            # (the cache holds only a weak reference to it)
+            self._prep["cands"] = ent
+            self._prep["cands_src"] = gathered
+        return ent
 
     # ------------------------------------------------------ dynamic updates
     @property
@@ -187,8 +279,9 @@ class RBCBase:
     def _append_point(self, x) -> int:
         """Append a row to the database; returns its global id.
 
-        O(n) per call (the array is copied); batch churn should prefer a
-        rebuild.  Provided so incremental workloads stay convenient.
+        Amortized O(1): the database lives in an over-allocated append
+        buffer (capacity/length split, doubled geometrically) and ``X`` is
+        a length-``n`` view of it, so most appends are a single row copy.
         """
         x = np.asarray(x, dtype=np.float64).reshape(1, -1)
         if x.shape[1] != self.X.shape[1]:
@@ -196,11 +289,18 @@ class RBCBase:
                 f"dimension mismatch: point has d={x.shape[1]}, "
                 f"database has d={self.X.shape[1]}"
             )
-        self.X = np.vstack([self.X, x])
-        if self._active is None:
-            self._active = np.ones(self.n, dtype=bool)
-        self._active = np.append(self._active, True)
+        if self._X_buf is None or self.n + 1 > self._X_buf.shape[0]:
+            cap = max(self.n + 1, 2 * self.n, 8)
+            buf = np.empty((cap, self.X.shape[1]), dtype=np.float64)
+            buf[: self.n] = self.X
+            self._X_buf = buf
+        self._X_buf[self.n] = x[0]
         self.n += 1
+        self.X = self._X_buf[: self.n]
+        if self._active is None:
+            self._active = np.ones(self.n - 1, dtype=bool)
+        self._active = np.append(self._active, True)
+        self._bump_version()
         return self.n - 1
 
     def _tombstone(self, gid: int) -> None:
@@ -209,13 +309,24 @@ class RBCBase:
         if not 0 <= gid < self.n or not self._active[gid]:
             raise ValueError(f"point {gid} does not exist or is deleted")
         self._active[gid] = False
+        self._bump_version()
 
     def memory_footprint(self) -> int:
-        """Approximate bytes held by the cover (ids + distances + radii)."""
+        """Approximate bytes held by the cover: ids + distances + radii,
+        counting *allocated capacity* (packed-list slack and the database
+        append buffer's tail included), not just live entries."""
         self._require_built()
         total = self.rep_ids.nbytes + self.radii.nbytes
-        total += sum(l.nbytes for l in self.lists)
-        total += sum(d.nbytes for d in self.list_dists)
+        if self._packed is not None:
+            total += self._packed.nbytes
+        if self._X_buf is not None and isinstance(self.X, np.ndarray):
+            # slack rows beyond the live view
+            total += (self._X_buf.shape[0] - self.n) * self.X.itemsize * (
+                self.X.shape[1] if self.X.ndim == 2 else 1
+            )
+        src = self._prep.get("cands_src")
+        if src is not None:
+            total += src.nbytes
         return total
 
     # ------------------------------------------------------------ interface

@@ -53,8 +53,20 @@ def save_index(index, path) -> None:
     else:
         raise ValueError(f"unsupported index type {type(index).__name__}")
 
-    offsets = np.zeros(len(index.lists) + 1, dtype=np.int64)
-    np.cumsum([lst.size for lst in index.lists], out=offsets[1:])
+    packed = index.packed
+    offsets = np.zeros(packed.n_lists + 1, dtype=np.int64)
+    np.cumsum(packed.lengths, out=offsets[1:])
+    if packed.capacity == packed.total:
+        # tight layout (fresh build): the packed backing arrays *are* the
+        # serialized form — no per-list concatenation
+        list_ids, list_dists = packed.ids, packed.dists
+    elif offsets[-1]:
+        # updates left slack between segments; compact the live entries
+        list_ids = np.concatenate(list(packed.id_views))
+        list_dists = np.concatenate(list(packed.dist_views))
+    else:
+        list_ids = np.empty(0, dtype=np.int64)
+        list_dists = np.empty(0)
     np.savez_compressed(
         path,
         format_version=_FORMAT_VERSION,
@@ -63,15 +75,10 @@ def save_index(index, path) -> None:
         X=index.X,
         rep_ids=index.rep_ids,
         list_offsets=offsets,
-        list_ids=(
-            np.concatenate(index.lists)
-            if offsets[-1]
-            else np.empty(0, dtype=np.int64)
-        ),
-        list_dists=(
-            np.concatenate(index.list_dists) if offsets[-1] else np.empty(0)
-        ),
+        list_ids=list_ids,
+        list_dists=list_dists,
         s=getattr(index, "s", -1),
+        dtype=index.dtype,
     )
 
 
@@ -86,7 +93,9 @@ def load_index(path):
             raise ValueError(f"file written by a newer format (v{version})")
         kind = str(z["kind"])
         cls = {"exact": ExactRBC, "oneshot": OneShotRBC}[kind]
-        index = cls(metric=str(z["metric"]))
+        # dtype knob added after v1 files without it; default is exact
+        dtype = str(z["dtype"]) if "dtype" in z.files else "float64"
+        index = cls(metric=str(z["metric"]), dtype=dtype)
         offsets = z["list_offsets"]
         list_ids = z["list_ids"]
         list_dists = z["list_dists"]

@@ -6,6 +6,14 @@ See :mod:`repro.metrics.base` for the :class:`Metric` interface and
 
 from .base import DistanceCounter, Metric, VectorMetric, check_metric_axioms
 from .edit import EditDistance, encode_strings
+from .engine import (
+    CacheCounter,
+    OperandCache,
+    Prepared,
+    operand_cache,
+    prepare_operands,
+    refine_topk,
+)
 from .graph import GraphMetric
 from .mahalanobis import Mahalanobis
 from .lp import (
@@ -24,6 +32,12 @@ __all__ = [
     "Metric",
     "VectorMetric",
     "check_metric_axioms",
+    "CacheCounter",
+    "OperandCache",
+    "Prepared",
+    "operand_cache",
+    "prepare_operands",
+    "refine_topk",
     "EditDistance",
     "encode_strings",
     "GraphMetric",

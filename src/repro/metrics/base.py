@@ -57,7 +57,12 @@ class DistanceCounter:
             self.n_calls = 0
 
     def snapshot(self) -> "DistanceCounter":
-        return DistanceCounter(self.n_evals, self.n_calls)
+        # both fields must be read under the lock: a torn read racing a
+        # concurrent add() would report an (n_evals, n_calls) pair that
+        # never existed, corrupting the per-stage eval deltas derived
+        # from consecutive snapshots
+        with self._lock:
+            return DistanceCounter(self.n_evals, self.n_calls)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"DistanceCounter(n_evals={self.n_evals}, n_calls={self.n_calls})"
@@ -132,12 +137,44 @@ class Metric(ABC):
             return int(X.shape[1])
         return 1
 
+    def cache_token(self):
+        """Key component identifying this metric's prepared-operand form.
+
+        Metrics whose preparation depends only on the data share a token per
+        class; metrics carrying fitted state (e.g. Mahalanobis) must override
+        so two differently-parameterized instances never share cache entries.
+        """
+        return type(self).__qualname__
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"
 
 
 class VectorMetric(Metric):
-    """Base for metrics over ``(n, d)`` float arrays with input validation."""
+    """Base for metrics over ``(n, d)`` float arrays with input validation.
+
+    Beyond the plain :meth:`pairwise` entry point, vector metrics support
+    the *prepared-operand* protocol of :mod:`repro.metrics.engine`:
+    :meth:`prepare` hoists everything data-dependent but query-independent
+    out of the kernel (dtype coercion, contiguity, squared norms, …) and
+    :meth:`pairwise_prepared` consumes two prepared operands without
+    recomputing any of it.  Metrics that are monotone transforms of a
+    cheaper squared form (the Gram-trick family) additionally set
+    ``squared_ok`` and accept ``squared=True``, letting callers rank in the
+    squared domain and apply :meth:`from_squared` only to the handful of
+    values they return.
+    """
+
+    #: whether ``pairwise_prepared(..., squared=True)`` is supported (the
+    #: metric is a monotone transform of a cheaper squared-distance kernel)
+    squared_ok: bool = False
+
+    #: shape of the prepared kernel, letting batched callers fuse many
+    #: prepared blocks into one 3-D kernel call: ``"gram"`` (squared
+    #: distances from sqnorms and a GEMM), ``"angular"`` (arccos of the
+    #: norm-scaled GEMM), or ``None`` (no fusable form; callers fall back
+    #: to per-block ``pairwise_prepared``)
+    prepared_kernel: str | None = None
 
     def pairwise(self, Q, X) -> np.ndarray:
         Q = np.ascontiguousarray(np.atleast_2d(np.asarray(Q, dtype=np.float64)))
@@ -148,6 +185,89 @@ class VectorMetric(Metric):
                 f"database has d={X.shape[1]}"
             )
         return super().pairwise(Q, X)
+
+    # -------------------------------------------------- prepared operands
+    def prepare(self, X, dtype: str = "float64"):
+        """Compute-ready form of ``X``: contiguous, coerced, norms hoisted.
+
+        The returned :class:`~repro.metrics.engine.Prepared` can be sliced
+        and gathered without recomputation; feed it (and a prepared query
+        block) to :meth:`pairwise_prepared`.  This is the O(n d) work that
+        :mod:`repro.metrics.engine` caches per dataset.
+        """
+        from .engine import Prepared, check_dtype
+
+        check_dtype(dtype)
+        data = np.ascontiguousarray(np.atleast_2d(np.asarray(X, dtype=dtype)))
+        extras = self._prepare_extras(data)
+        data = extras.pop("data", data)
+        return Prepared(data, **extras)
+
+    def _prepare_extras(self, data: np.ndarray) -> dict:
+        """Per-row terms to hoist out of the kernel (subclass hook).
+
+        May return ``sqnorms``/``norms`` entries, and may replace ``data``
+        itself (Mahalanobis stores Cholesky-transformed coordinates).
+        """
+        return {}
+
+    def pairwise_prepared(self, Qp, Xp, *, squared: bool = False) -> np.ndarray:
+        """Distance block from two prepared operands (counted like
+        :meth:`pairwise`, recomputing none of the hoisted terms).
+
+        With ``squared=True`` (``squared_ok`` metrics only) the block holds
+        squared distances — same ranking, no elementwise root.
+        """
+        if Qp.data.shape[1] != Xp.data.shape[1]:
+            raise ValueError(
+                f"dimension mismatch: queries have d={Qp.data.shape[1]}, "
+                f"database has d={Xp.data.shape[1]}"
+            )
+        D = self._pairwise_prepared(Qp, Xp, squared)
+        self.counter.add(D.size)
+        return D
+
+    def _pairwise_prepared(self, Qp, Xp, squared: bool) -> np.ndarray:
+        """Default: run the plain kernel on the coerced data (no hoisting
+        beyond contiguity/dtype).  Gram-trick subclasses override."""
+        if squared:
+            raise ValueError(f"{self.name} has no squared-distance form")
+        return self._pairwise(Qp.data, Xp.data)
+
+    def paired(self, A, B) -> np.ndarray:
+        """Row-aligned distances ``rho(A[i], B[i])`` as a ``(n,)`` vector.
+
+        The elementwise companion of :meth:`pairwise`, used by the float64
+        refinement step to re-score selected (query, candidate) pairs
+        without materializing a full cross-product block.  Evaluations are
+        counted like any other.
+        """
+        A = np.ascontiguousarray(np.atleast_2d(np.asarray(A, dtype=np.float64)))
+        B = np.ascontiguousarray(np.atleast_2d(np.asarray(B, dtype=np.float64)))
+        if A.shape != B.shape:
+            raise ValueError(f"paired operands must align, got {A.shape} vs {B.shape}")
+        d = self._paired(A, B)
+        self.counter.add(d.size)
+        return d
+
+    def _paired(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        """Default: diagonals of small pairwise blocks (subclasses with a
+        cheap elementwise form override)."""
+        n = len(A)
+        out = np.empty(n)
+        step = 64
+        for lo in range(0, n, step):
+            hi = min(lo + step, n)
+            out[lo:hi] = np.diagonal(self._pairwise(A[lo:hi], B[lo:hi]))
+        return out
+
+    def from_squared(self, Dsq: np.ndarray) -> np.ndarray:
+        """Map squared-domain values back to distances (``squared_ok`` only)."""
+        raise ValueError(f"{self.name} has no squared-distance form")
+
+    def to_squared(self, D: np.ndarray) -> np.ndarray:
+        """Map distances into the squared domain (``squared_ok`` only)."""
+        raise ValueError(f"{self.name} has no squared-distance form")
 
     def validate(self, X) -> None:
         """Reject non-finite data.

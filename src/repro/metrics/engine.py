@@ -1,0 +1,287 @@
+"""Kernel engine: prepared operands for zero-recompute brute-force calls.
+
+The paper reduces every search to the brute-force primitive ``BF(Q, X[L])``
+whose distance step is GEMM-shaped (§3), so the distance kernel *is* the
+serving hot path.  Against a fixed database the naive formulation wastes
+work on every call: the Gram-trick metrics recompute the database norm
+vector ``||x||^2`` (an O(n d) reduction), every call re-runs dtype coercion
+and ``ascontiguousarray`` on operands that never change, and Mahalanobis
+re-applies its Cholesky transform to the whole database per block.
+
+This module removes all of that:
+
+* :class:`Prepared` — a dataset in compute-ready form: contiguous data in
+  the compute dtype plus whatever per-row terms the metric can hoist out of
+  the kernel (squared norms for the Gram-trick metrics, row norms for the
+  angular metric, transformed coordinates for Mahalanobis).  Prepared
+  operands slice and gather without recomputation, so blocked kernels pay
+  the O(n d) preparation exactly once.
+* :class:`OperandCache` — a process-wide cache of prepared operands keyed
+  on array identity plus a caller-supplied version stamp.  Index structures
+  bump their stamp on ``insert``/``delete``/rebuild, which invalidates
+  every prepared form derived from the database.  The cache keeps weak
+  references only, so it never extends an array's lifetime.
+* :class:`CacheCounter` — the measurement instrument (mirroring
+  :class:`~repro.metrics.base.DistanceCounter`): how many operand
+  preparations (norm computations) ran, how many calls were served from
+  cache, and how many entries were invalidated.  The "database norms are
+  computed exactly once per build" property is asserted against it.
+* :func:`refine_topk` — the float64 refinement step of the ``float32``
+  compute path: candidate ids selected in float32 are re-scored with exact
+  float64 distances and re-ranked, so the low-precision GEMM only has to
+  get the *candidate set* right, not the final ordering.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = [
+    "Prepared",
+    "CacheCounter",
+    "OperandCache",
+    "operand_cache",
+    "prepare_operands",
+    "refine_topk",
+    "COMPUTE_DTYPES",
+]
+
+#: dtypes the compute path accepts; float64 is the exact default, float32
+#: halves GEMM traffic (see docs/performance.md for the safety argument)
+COMPUTE_DTYPES = ("float64", "float32")
+
+
+def check_dtype(dtype: str) -> str:
+    """Validate and normalize a compute-dtype knob value."""
+    if dtype not in COMPUTE_DTYPES:
+        raise ValueError(
+            f"compute dtype must be one of {COMPUTE_DTYPES}, got {dtype!r}"
+        )
+    return dtype
+
+
+class Prepared:
+    """A dataset in compute-ready form for one metric.
+
+    ``data`` is contiguous in the compute dtype; ``sqnorms``/``norms`` hold
+    the metric's hoisted per-row terms (``None`` when the metric has none).
+    Slicing and gathering preserve the hoisted terms, so blocked kernels
+    never recompute them.
+    """
+
+    __slots__ = ("data", "sqnorms", "norms")
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        sqnorms: np.ndarray | None = None,
+        norms: np.ndarray | None = None,
+    ) -> None:
+        self.data = data
+        self.sqnorms = sqnorms
+        self.norms = norms
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    @property
+    def nbytes(self) -> int:
+        total = self.data.nbytes
+        for extra in (self.sqnorms, self.norms):
+            if extra is not None:
+                total += extra.nbytes
+        return total
+
+    def slice(self, lo: int, hi: int) -> "Prepared":
+        """Contiguous row range as views (no copies, no recomputation)."""
+        return Prepared(
+            self.data[lo:hi],
+            None if self.sqnorms is None else self.sqnorms[lo:hi],
+            None if self.norms is None else self.norms[lo:hi],
+        )
+
+    def take(self, idx: np.ndarray) -> "Prepared":
+        """Gather rows by index, carrying the hoisted terms along."""
+        return Prepared(
+            self.data[idx],
+            None if self.sqnorms is None else self.sqnorms[idx],
+            None if self.norms is None else self.norms[idx],
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Prepared(n={len(self.data)}, dtype={self.data.dtype})"
+
+
+class CacheCounter:
+    """Tally of operand-cache activity (exposed like ``DistanceCounter``).
+
+    ``n_prepared`` counts full preparations — each one is an O(n d) pass
+    over a dataset (coercion + norms); ``n_hits`` counts calls served from
+    cache without touching the data; ``n_invalidated`` counts entries
+    dropped because their version stamp moved or their array died.
+    """
+
+    __slots__ = ("n_prepared", "n_hits", "n_invalidated", "_lock")
+
+    def __init__(
+        self, n_prepared: int = 0, n_hits: int = 0, n_invalidated: int = 0
+    ) -> None:
+        self.n_prepared = n_prepared
+        self.n_hits = n_hits
+        self.n_invalidated = n_invalidated
+        self._lock = threading.Lock()
+
+    def add_prepared(self) -> None:
+        with self._lock:
+            self.n_prepared += 1
+
+    def add_hit(self) -> None:
+        with self._lock:
+            self.n_hits += 1
+
+    def add_invalidated(self) -> None:
+        with self._lock:
+            self.n_invalidated += 1
+
+    def reset(self) -> None:
+        with self._lock:
+            self.n_prepared = 0
+            self.n_hits = 0
+            self.n_invalidated = 0
+
+    def snapshot(self) -> "CacheCounter":
+        with self._lock:
+            return CacheCounter(self.n_prepared, self.n_hits, self.n_invalidated)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CacheCounter(n_prepared={self.n_prepared}, n_hits={self.n_hits}, "
+            f"n_invalidated={self.n_invalidated})"
+        )
+
+
+class _Entry:
+    __slots__ = ("ref", "version", "prepared")
+
+    def __init__(self, ref, version, prepared) -> None:
+        self.ref = ref
+        self.version = version
+        self.prepared = prepared
+
+
+class OperandCache:
+    """Process-wide cache of prepared operands for fixed datasets.
+
+    Keyed on ``(metric token, id(array), dtype)`` plus a caller-supplied
+    integer *version stamp*: a lookup with a different stamp than the
+    cached entry invalidates and re-prepares.  Index structures own their
+    stamp and bump it on every dynamic update, so stale norms can never be
+    served after an ``insert``/``delete``/rebuild.
+
+    Entries hold weak references to the source array — the cache never
+    keeps data alive — and the table is LRU-bounded.  The ``id()`` key is
+    safe because a dead referent (whose id could be recycled) is detected
+    through the weakref and dropped.  The cache does **not** fingerprint
+    array contents: callers mutating an array in place must bump the
+    version stamp (the index classes do) or bypass the cache.
+    """
+
+    def __init__(self, max_entries: int = 32) -> None:
+        self._entries: OrderedDict[tuple, _Entry] = OrderedDict()
+        self._lock = threading.Lock()
+        self.max_entries = int(max_entries)
+        self.stats = CacheCounter()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def get(self, metric, X: np.ndarray, dtype: str = "float64", version: int = 0):
+        """Return the prepared form of ``X``, computing it at most once per
+        ``(array, dtype, version)``."""
+        check_dtype(dtype)
+        key = (metric.cache_token(), id(X), dtype)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                alive = entry.ref() is X
+                if alive and entry.version == version:
+                    self._entries.move_to_end(key)
+                    self.stats.add_hit()
+                    return entry.prepared
+                del self._entries[key]
+                self.stats.add_invalidated()
+        prepared = metric.prepare(X, dtype=dtype)
+        self.stats.add_prepared()
+        try:
+            ref = weakref.ref(X)
+        except TypeError:  # non-weakrefable duck arrays: don't cache
+            return prepared
+        with self._lock:
+            self._entries[key] = _Entry(ref, version, prepared)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+        return prepared
+
+
+#: the process-wide cache used by ``bf_knn``/``bf_range`` and the indexes
+operand_cache = OperandCache()
+
+
+def prepare_operands(metric, X, dtype: str = "float64", *, version: int = 0):
+    """Prepared form of ``X`` for ``metric``, via the process-wide cache."""
+    return operand_cache.get(metric, X, dtype=dtype, version=version)
+
+
+def refine_topk(
+    metric,
+    Qb,
+    X,
+    idx: np.ndarray,
+    k: int,
+    *,
+    ids_are_global: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Re-score float32-selected candidates in float64 and re-rank to ``k``.
+
+    ``idx`` is an ``(m, k')`` candidate-id block (``k' >= k``) selected by
+    the low-precision kernel; each row's candidates are re-scored with the
+    exact float64 ``metric.pairwise`` and the ``k`` nearest kept.  Padding
+    slots (id ``-1``) are ignored.  Returns ``(dist, idx)`` of shape
+    ``(m, k)``, rows sorted ascending, padded with ``inf``/``-1``.
+
+    The evaluations performed here are real work and are counted on the
+    metric's :class:`~repro.metrics.base.DistanceCounter` like any other.
+    """
+    m, kk = idx.shape
+    Qb = np.atleast_2d(np.asarray(Qb, dtype=np.float64))
+    d = np.empty((m, kk))
+    # row blocks bound the (rows * kk, d) gathered operands
+    step = max(1, 65536 // max(kk, 1))
+    for lo in range(0, m, step):
+        hi = min(lo + step, m)
+        block = idx[lo:hi]
+        safe = np.clip(block, 0, None).reshape(-1)
+        pairs_q = np.repeat(Qb[lo:hi], kk, axis=0)
+        d[lo:hi] = metric.paired(pairs_q, metric.take(X, safe)).reshape(
+            hi - lo, kk
+        )
+    d[idx < 0] = np.inf
+    order = np.argsort(d, axis=1, kind="stable")[:, :k]
+    out_d = np.take_along_axis(d, order, axis=1)
+    out_i = np.take_along_axis(idx, order, axis=1).astype(np.int64, copy=False)
+    out_i = np.where(np.isfinite(out_d), out_i, -1)
+    return out_d, out_i

@@ -58,12 +58,45 @@ class SqEuclidean(VectorMetric):
     name = "sqeuclidean"
     is_true_metric = False
     flops_per_eval_coeff = 2.0
+    squared_ok = True
+    prepared_kernel = "gram"
 
     def _pairwise(self, Q: np.ndarray, X: np.ndarray) -> np.ndarray:
         q2 = np.einsum("ij,ij->i", Q, Q)
         x2 = np.einsum("ij,ij->i", X, X)
         D = q2[:, None] - 2.0 * (Q @ X.T) + x2[None, :]
         np.maximum(D, 0.0, out=D)
+        return D
+
+    def _prepare_extras(self, data: np.ndarray) -> dict:
+        return {"sqnorms": np.einsum("ij,ij->i", data, data)}
+
+    def _paired(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        diff = A - B
+        return np.einsum("ij,ij->i", diff, diff)
+
+    def _gram_sq(self, Qp, Xp) -> np.ndarray:
+        """Squared distances from prepared operands — the cached-norm GEMM.
+
+        Accumulated in place (``-2G + ||q||^2 + ||x||^2``); bit-identical
+        to the broadcast expression since IEEE addition commutes and the
+        ``-2`` scale is exact, but without the broadcast temporaries.
+        """
+        D = Qp.data @ Xp.data.T
+        D *= -2.0
+        D += Qp.sqnorms[:, None]
+        D += Xp.sqnorms[None, :]
+        np.maximum(D, 0.0, out=D)
+        return D
+
+    def _pairwise_prepared(self, Qp, Xp, squared: bool) -> np.ndarray:
+        # squared Euclidean *is* its own squared form
+        return self._gram_sq(Qp, Xp)
+
+    def from_squared(self, Dsq: np.ndarray) -> np.ndarray:
+        return Dsq
+
+    def to_squared(self, D: np.ndarray) -> np.ndarray:
         return D
 
 
@@ -73,11 +106,27 @@ class Euclidean(SqEuclidean):
     name = "euclidean"
     is_true_metric = True
     flops_per_eval_coeff = 2.0
+    squared_ok = True
 
     def _pairwise(self, Q: np.ndarray, X: np.ndarray) -> np.ndarray:
         D = super()._pairwise(Q, X)
         np.sqrt(D, out=D)
         return D
+
+    def _paired(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        return np.sqrt(super()._paired(A, B))
+
+    def _pairwise_prepared(self, Qp, Xp, squared: bool) -> np.ndarray:
+        D = self._gram_sq(Qp, Xp)
+        if not squared:
+            np.sqrt(D, out=D)
+        return D
+
+    def from_squared(self, Dsq: np.ndarray) -> np.ndarray:
+        return np.sqrt(np.maximum(Dsq, 0.0))
+
+    def to_squared(self, D: np.ndarray) -> np.ndarray:
+        return D * D
 
 
 class Manhattan(VectorMetric):
@@ -148,6 +197,7 @@ class Cosine(VectorMetric):
     name = "angular"
     is_true_metric = True
     flops_per_eval_coeff = 2.0
+    prepared_kernel = "angular"
 
     def _pairwise(self, Q: np.ndarray, X: np.ndarray) -> np.ndarray:
         qn = np.linalg.norm(Q, axis=1)
@@ -155,6 +205,28 @@ class Cosine(VectorMetric):
         if np.any(qn == 0) or np.any(xn == 0):
             raise ValueError("angular distance undefined for zero vectors")
         C = (Q @ X.T) / np.outer(qn, xn)
+        np.clip(C, -1.0, 1.0, out=C)
+        return np.arccos(C)
+
+    def _paired(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        an = np.linalg.norm(A, axis=1)
+        bn = np.linalg.norm(B, axis=1)
+        if np.any(an == 0) or np.any(bn == 0):
+            raise ValueError("angular distance undefined for zero vectors")
+        c = np.einsum("ij,ij->i", A, B) / (an * bn)
+        np.clip(c, -1.0, 1.0, out=c)
+        return np.arccos(c)
+
+    def _prepare_extras(self, data: np.ndarray) -> dict:
+        norms = np.linalg.norm(data, axis=1)
+        if np.any(norms == 0):
+            raise ValueError("angular distance undefined for zero vectors")
+        return {"norms": norms}
+
+    def _pairwise_prepared(self, Qp, Xp, squared: bool) -> np.ndarray:
+        if squared:
+            raise ValueError(f"{self.name} has no squared-distance form")
+        C = (Qp.data @ Xp.data.T) / np.outer(Qp.norms, Xp.norms)
         np.clip(C, -1.0, 1.0, out=C)
         return np.arccos(C)
 

@@ -56,6 +56,15 @@ class Mahalanobis(VectorMetric):
         cov = np.atleast_2d(cov) + reg * np.eye(X.shape[1])
         return cls(np.linalg.inv(cov))
 
+    squared_ok = True
+    prepared_kernel = "gram"  # prepared data is L^T-transformed, so the
+    # batched kernel is the plain Gram form on it
+
+    def cache_token(self):
+        # prepared operands embed the Cholesky transform, so two instances
+        # with different VI must never share cache entries
+        return (type(self).__qualname__, id(self))
+
     def _pairwise(self, Q: np.ndarray, X: np.ndarray) -> np.ndarray:
         if Q.shape[1] != self.dim_:
             raise ValueError(
@@ -69,3 +78,33 @@ class Mahalanobis(VectorMetric):
         np.maximum(D, 0.0, out=D)
         np.sqrt(D, out=D)
         return D
+
+    def _paired(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        diff = (A - B) @ self._L
+        return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+
+    def _prepare_extras(self, data: np.ndarray) -> dict:
+        # hoist the Cholesky transform: prepared data holds L^T-transformed
+        # coordinates, so the kernel is the plain Gram trick on them
+        if data.shape[1] != self.dim_:
+            raise ValueError(
+                f"metric fitted for d={self.dim_}, data has d={data.shape[1]}"
+            )
+        Xt = np.ascontiguousarray(data @ self._L.astype(data.dtype, copy=False))
+        return {"data": Xt, "sqnorms": np.einsum("ij,ij->i", Xt, Xt)}
+
+    def _pairwise_prepared(self, Qp, Xp, squared: bool) -> np.ndarray:
+        D = Qp.data @ Xp.data.T
+        D *= -2.0
+        D += Qp.sqnorms[:, None]
+        D += Xp.sqnorms[None, :]
+        np.maximum(D, 0.0, out=D)
+        if not squared:
+            np.sqrt(D, out=D)
+        return D
+
+    def from_squared(self, Dsq: np.ndarray) -> np.ndarray:
+        return np.sqrt(np.maximum(Dsq, 0.0))
+
+    def to_squared(self, D: np.ndarray) -> np.ndarray:
+        return D * D

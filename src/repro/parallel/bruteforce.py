@@ -23,6 +23,7 @@ import numpy as np
 
 from ..metrics import get_metric
 from ..metrics.base import Metric, VectorMetric
+from ..metrics.engine import check_dtype, prepare_operands, refine_topk
 from ..simulator.trace import NULL_RECORDER, Op, TraceRecorder
 from .blocking import choose_tile_cols, row_chunks
 from .pool import (
@@ -48,12 +49,20 @@ _RECORD_SUB_ROWS = 32
 
 
 def _record_dist_tile(
-    recorder: TraceRecorder, metric: Metric, rows: int, cols: int, dim: int, tag: str
+    recorder: TraceRecorder,
+    metric: Metric,
+    rows: int,
+    cols: int,
+    dim: int,
+    tag: str,
+    itemsize: float = 8.0,
 ) -> None:
     if not recorder.enabled or rows <= 0 or cols <= 0:
         return
     fpe = metric.flops_per_eval(dim)
-    slab_bytes = 8.0 * cols * dim  # database slab, streamed once per tile
+    # operand traffic scales with the compute dtype: float32 tiles move
+    # half the bytes of float64 ones (the machine models care)
+    slab_bytes = itemsize * cols * dim  # database slab, streamed once per tile
     done = 0
     while done < rows:
         r = min(_RECORD_SUB_ROWS, rows - done)
@@ -61,7 +70,7 @@ def _record_dist_tile(
             Op(
                 kind="gemm",
                 flops=r * cols * fpe,
-                bytes=8.0 * (r * dim + r * cols) + slab_bytes * (r / rows),
+                bytes=itemsize * (r * dim + r * cols) + slab_bytes * (r / rows),
                 vectorizable=True,
                 tag=tag,
             )
@@ -81,6 +90,33 @@ def _record_select(recorder: TraceRecorder, rows: int, cols: int, tag: str) -> N
             tag=tag,
         )
     )
+
+
+def _merge_candidates(
+    candidates: list,
+    m: int,
+    k: int,
+    recorder: TraceRecorder,
+    tag: str,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Tree-merge per-tile top-k candidate blocks (recorded)."""
+    if len(candidates) == 1:
+        return candidates[0]
+    with recorder.phase(f"{tag}:merge"):
+
+        def merge(a, b):
+            recorder.record(
+                Op(
+                    kind="reduce",
+                    flops=4.0 * m * k,
+                    bytes=8.0 * 4 * m * k,
+                    vectorizable=True,
+                    tag=f"{tag}:merge",
+                )
+            )
+            return merge_topk(a, b)
+
+        return tree_reduce(candidates, merge)
 
 
 def _knn_one_chunk(
@@ -104,23 +140,41 @@ def _knn_one_chunk(
             _record_dist_tile(recorder, metric, m, hi - lo, dim, tag)
             candidates.append(topk_of_block(D, k, col_offset=lo))
             _record_select(recorder, m, hi - lo, tag)
-    if len(candidates) == 1:
-        return candidates[0]
-    with recorder.phase(f"{tag}:merge"):
+    return _merge_candidates(candidates, m, k, recorder, tag)
 
-        def merge(a, b):
-            recorder.record(
-                Op(
-                    kind="reduce",
-                    flops=4.0 * m * k,
-                    bytes=8.0 * 4 * m * k,
-                    vectorizable=True,
-                    tag=f"{tag}:merge",
-                )
+
+def _knn_one_chunk_prepared(
+    metric: VectorMetric,
+    Qp,
+    Xp,
+    k: int,
+    tile_cols: int,
+    recorder: TraceRecorder,
+    dim: int,
+    tag: str,
+    squared: bool,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Engine variant of :func:`_knn_one_chunk` over prepared operands.
+
+    Tiles are contiguous *views* of the prepared database (no gathers, no
+    norm recomputation) and, for ``squared_ok`` metrics, distances stay in
+    the squared domain — same ranking, so the elementwise root is deferred
+    to the ``(m, k)`` result instead of the ``(m, n)`` block.
+    """
+    n = len(Xp)
+    m = len(Qp)
+    itemsize = float(Qp.data.dtype.itemsize)
+    candidates = []
+    with recorder.phase(f"{tag}:dist+select"):
+        for lo, hi in row_chunks(n, tile_cols):
+            Xt = Xp.slice(lo, hi) if (lo, hi) != (0, n) else Xp
+            D = metric.pairwise_prepared(Qp, Xt, squared=squared)
+            _record_dist_tile(
+                recorder, metric, m, hi - lo, dim, tag, itemsize=itemsize
             )
-            return merge_topk(a, b)
-
-        return tree_reduce(candidates, merge)
+            candidates.append(topk_of_block(D, k, col_offset=lo))
+            _record_select(recorder, m, hi - lo, tag)
+    return _merge_candidates(candidates, m, k, recorder, tag)
 
 
 def bf_knn(
@@ -134,6 +188,9 @@ def bf_knn(
     tile_cols: int | None = None,
     row_chunk: int = _DEFAULT_ROW_CHUNK,
     recorder: TraceRecorder = NULL_RECORDER,
+    dtype: str = "float64",
+    x_prepared=None,
+    refine: bool = True,
 ) -> tuple[np.ndarray, np.ndarray]:
     """k nearest neighbors of each query by exhaustive search.
 
@@ -164,6 +221,19 @@ def bf_knn(
         database columns per tile (auto-sized to ~8 MB of operands if None).
     recorder:
         trace recorder for the machine models.
+    dtype:
+        compute dtype for vector metrics — ``"float64"`` (default, exact)
+        or ``"float32"`` (half the GEMM traffic; with ``refine=True`` the
+        float32-selected candidates are re-scored in float64, so only the
+        candidate *set* rides on low precision).
+    x_prepared:
+        optional :class:`~repro.metrics.engine.Prepared` form of ``X``
+        (vector metrics only, incompatible with ``ids``).  Index structures
+        pass their cached operands here so repeated calls against a fixed
+        database recompute nothing; its dtype overrides ``dtype``.
+    refine:
+        float64-refine the result of a ``float32`` search (ignored for
+        float64).
 
     Returns
     -------
@@ -175,6 +245,12 @@ def bf_knn(
     metric = get_metric(metric)
     if k < 1:
         raise ValueError("k must be >= 1")
+    check_dtype(dtype)
+    if x_prepared is not None and ids is not None:
+        raise ValueError(
+            "x_prepared and ids are incompatible: pass a prepared operand "
+            "for the restricted set instead"
+        )
     Qb = Q if _is_batch(metric, Q) else metric._as_batch(Q)
     m = metric.length(Qb)
     if ids is not None:
@@ -200,6 +276,12 @@ def bf_knn(
             raise ValueError(
                 "executor='processes' cannot record traces (the ops happen "
                 "in worker processes); use 'threads' or 'serial' when tracing"
+            )
+        if dtype != "float64" or x_prepared is not None:
+            raise ValueError(
+                "executor='processes' supports neither float32 compute nor "
+                "prepared operands (workers own their copies); use "
+                "'threads' or 'serial'"
             )
         pool = executor if isinstance(executor, ProcessExecutor) else None
         if isinstance(metric, VectorMetric):
@@ -233,10 +315,39 @@ def bf_knn(
 
     chunks = row_chunks(m, row_chunk)
 
-    def task(chunk):
-        lo, hi = chunk
-        Qc = metric.take(Qb, np.arange(lo, hi)) if (lo, hi) != (0, m) else Qb
-        return _knn_one_chunk(metric, Qc, X, k, tile_cols, recorder, dim, "bf")
+    if isinstance(metric, VectorMetric):
+        # engine path: prepared operands (hoisted coercion + norms) and,
+        # for squared_ok metrics, squared-domain selection.  Bit-identical
+        # to the plain path for the default float64 dtype.
+        if x_prepared is not None:
+            Xp = x_prepared
+            dtype = str(Xp.dtype)
+        elif ids is None and isinstance(X, np.ndarray):
+            # fixed-database case: route through the process-wide cache so
+            # repeated calls prepare X exactly once
+            Xp = prepare_operands(metric, X, dtype=dtype)
+        else:
+            # transient operand (gathered subset / duck array): prepare
+            # directly, don't pollute the cache with one-shot entries
+            Xp = metric.prepare(X, dtype=dtype)
+        Qp_full = metric.prepare(Qb, dtype=dtype)
+        squared = metric.squared_ok
+        fp32 = dtype == "float32"
+        kk = min(n, max(2 * k, k + 8)) if (fp32 and refine) else k
+
+        def task(chunk):
+            lo, hi = chunk
+            Qp = Qp_full.slice(lo, hi) if (lo, hi) != (0, m) else Qp_full
+            return _knn_one_chunk_prepared(
+                metric, Qp, Xp, kk, tile_cols, recorder, dim, "bf", squared
+            )
+
+    else:
+
+        def task(chunk):
+            lo, hi = chunk
+            Qc = metric.take(Qb, np.arange(lo, hi)) if (lo, hi) != (0, m) else Qb
+            return _knn_one_chunk(metric, Qc, X, k, tile_cols, recorder, dim, "bf")
 
     try:
         if len(chunks) == 1 or isinstance(exec_, SerialExecutor):
@@ -249,6 +360,11 @@ def bf_knn(
 
     dist = np.concatenate([p[0] for p in parts], axis=0)
     idx = np.concatenate([p[1] for p in parts], axis=0)
+    if isinstance(metric, VectorMetric):
+        if squared:
+            dist = metric.from_squared(dist)
+        if fp32 and refine:
+            dist, idx = refine_topk(metric, Qb, X, idx, k)
     if ids is not None:
         mask = idx >= 0
         idx[mask] = ids[idx[mask]]
@@ -281,12 +397,21 @@ def bf_range(
     ids: np.ndarray | None = None,
     tile_cols: int | None = None,
     recorder: TraceRecorder = NULL_RECORDER,
+    dtype: str = "float64",
 ) -> list[tuple[np.ndarray, np.ndarray]]:
     """ε-range search: all database points within distance ``eps`` of each
-    query.  Returns, per query, ``(dist, idx)`` sorted by distance."""
+    query.  Returns, per query, ``(dist, idx)`` sorted by distance.
+
+    With ``dtype="float32"`` (vector metrics) the scan runs in float32 with
+    a slack-widened threshold and every candidate hit is verified with the
+    exact float64 distance, so the reported set and values match the
+    float64 search up to genuinely borderline points within float32 noise
+    of ``eps``.
+    """
     metric = get_metric(metric)
     if eps < 0:
         raise ValueError("eps must be non-negative")
+    check_dtype(dtype)
     if ids is not None:
         ids = np.asarray(ids, dtype=np.int64)
         X = metric.take(X, ids)
@@ -296,18 +421,53 @@ def bf_range(
     Qb = Q if _is_batch(metric, Q) else metric._as_batch(Q)
     m = metric.length(Qb)
 
+    engine = isinstance(metric, VectorMetric)
+    if engine:
+        if ids is None and isinstance(X, np.ndarray):
+            Xp = prepare_operands(metric, X, dtype=dtype)
+        else:
+            Xp = metric.prepare(X, dtype=dtype)
+        Qp = metric.prepare(Qb, dtype=dtype)
+        itemsize = float(Qp.data.dtype.itemsize)
+        fp32 = dtype == "float32"
+        # float32 scan keeps everything within relative slack of eps; the
+        # exact float64 re-check below restores the true boundary
+        eps_scan = eps * (1.0 + 1e-5) + 1e-6 if fp32 else eps
+    else:
+        fp32 = False
+
     hits_d: list[list[np.ndarray]] = [[] for _ in range(m)]
     hits_i: list[list[np.ndarray]] = [[] for _ in range(m)]
     with recorder.phase("bf-range:dist"):
         for lo, hi in row_chunks(n, tile_cols):
-            Xt = metric.take(X, np.arange(lo, hi)) if (lo, hi) != (0, n) else X
-            D = metric.pairwise(Qb, Xt)
-            _record_dist_tile(recorder, metric, m, hi - lo, dim, "bf-range")
-            rows, cols = np.nonzero(D <= eps)
+            if engine:
+                Xt = Xp.slice(lo, hi) if (lo, hi) != (0, n) else Xp
+                D = metric.pairwise_prepared(Qp, Xt)
+                _record_dist_tile(
+                    recorder, metric, m, hi - lo, dim, "bf-range",
+                    itemsize=itemsize,
+                )
+                rows, cols = np.nonzero(D <= eps_scan)
+            else:
+                Xt = metric.take(X, np.arange(lo, hi)) if (lo, hi) != (0, n) else X
+                D = metric.pairwise(Qb, Xt)
+                _record_dist_tile(recorder, metric, m, hi - lo, dim, "bf-range")
+                rows, cols = np.nonzero(D <= eps)
             for r in np.unique(rows):
                 sel = cols[rows == r]
-                hits_d[r].append(D[r, sel])
-                hits_i[r].append(sel + lo)
+                if fp32:
+                    # exact float64 verification of the float32 candidates
+                    # (against the original rows — prepared data may be
+                    # transformed, e.g. Mahalanobis)
+                    d = metric.pairwise(
+                        metric.take(Qb, [r]), metric.take(X, sel + lo)
+                    )[0]
+                    keep = d <= eps
+                    hits_d[r].append(d[keep])
+                    hits_i[r].append(sel[keep] + lo)
+                else:
+                    hits_d[r].append(D[r, sel])
+                    hits_i[r].append(sel + lo)
 
     out = []
     for r in range(m):
