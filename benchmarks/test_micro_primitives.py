@@ -9,7 +9,6 @@ across runs (``--benchmark-autosave`` / ``--benchmark-compare``).
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core import ExactRBC, OneShotRBC

@@ -29,6 +29,7 @@ from .baselines import BallTree, BruteForceIndex, CoverTree, KDTree
 from .core import ExactRBC, OneShotRBC, oneshot_params, standard_n_reps
 from .metrics import available_metrics, get_metric
 from .parallel import bf_knn, bf_nn, bf_range
+from .runtime import ExecContext, RunReport
 
 __version__ = "1.0.0"
 
@@ -38,7 +39,9 @@ __all__ = [
     "CoverTree",
     "KDTree",
     "ExactRBC",
+    "ExecContext",
     "OneShotRBC",
+    "RunReport",
     "oneshot_params",
     "standard_n_reps",
     "available_metrics",

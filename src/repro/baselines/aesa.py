@@ -21,6 +21,7 @@ import numpy as np
 
 from ..metrics import get_metric
 from ..metrics.base import Metric
+from ..runtime.context import ExecContext, resolve_ctx
 from ..simulator.trace import NULL_RECORDER, Op, TraceRecorder
 from .base import Index
 
@@ -42,8 +43,15 @@ class AESA(Index):
         self.D: np.ndarray | None = None  # (n, n) pairwise distances
         self.n = 0
 
-    def build(self, X, *, recorder: TraceRecorder = NULL_RECORDER) -> "AESA":
+    def build(
+        self,
+        X,
+        *,
+        recorder: TraceRecorder = NULL_RECORDER,
+        ctx: ExecContext | None = None,
+    ) -> "AESA":
         """Precompute the full distance matrix (one giant BF(X, X))."""
+        recorder = resolve_ctx(ctx, recorder=recorder).recorder
         n = self.metric.length(X)
         if n == 0:
             raise ValueError("database is empty")
@@ -67,12 +75,18 @@ class AESA(Index):
         return self
 
     def query(
-        self, Q, k: int = 1, *, recorder: TraceRecorder = NULL_RECORDER
+        self,
+        Q,
+        k: int = 1,
+        *,
+        recorder: TraceRecorder = NULL_RECORDER,
+        ctx: ExecContext | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         if self.D is None:
             raise RuntimeError("call build(X) first")
         if k < 1:
             raise ValueError("k must be >= 1")
+        recorder = resolve_ctx(ctx, recorder=recorder).recorder
         from ..parallel.bruteforce import _is_batch
 
         Qb = Q if _is_batch(self.metric, Q) else self.metric._as_batch(Q)

@@ -20,6 +20,7 @@ import numpy as np
 
 from ..metrics import get_metric
 from ..metrics.base import Metric
+from ..runtime.context import ExecContext, resolve_ctx
 from ..simulator.trace import NULL_RECORDER, Op, TraceRecorder
 from .base import Index
 
@@ -58,7 +59,14 @@ class BallTree(Index):
         self.X = None
 
     # -------------------------------------------------------------- build
-    def build(self, X, *, recorder: TraceRecorder = NULL_RECORDER) -> "BallTree":
+    def build(
+        self,
+        X,
+        *,
+        recorder: TraceRecorder = NULL_RECORDER,
+        ctx: ExecContext | None = None,
+    ) -> "BallTree":
+        recorder = resolve_ctx(ctx, recorder=recorder).recorder
         self.X = X
         n = self.metric.length(X)
         if n == 0:
@@ -113,8 +121,14 @@ class BallTree(Index):
 
     # -------------------------------------------------------------- query
     def query(
-        self, Q, k: int = 1, *, recorder: TraceRecorder = NULL_RECORDER
+        self,
+        Q,
+        k: int = 1,
+        *,
+        recorder: TraceRecorder = NULL_RECORDER,
+        ctx: ExecContext | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
+        recorder = resolve_ctx(ctx, recorder=recorder).recorder
         if self.root is None:
             raise RuntimeError("call build(X) first")
         if k < 1:

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..runtime.context import ExecContext
 from ..simulator.trace import NULL_RECORDER, TraceRecorder
 
 __all__ = ["Index"]
@@ -17,14 +18,30 @@ class Index:
     than ``k`` results exist.  All implementations count their distance
     evaluations in ``self.metric.counter`` and can record operation traces
     for the machine models.
+
+    Both methods accept an :class:`~repro.runtime.context.ExecContext`
+    carrying the recorder (and, where the index parallelizes, the executor
+    and kernel policy) in one object; the ``recorder=`` kwarg remains as a
+    thin adapter over it, with set ``ctx`` fields taking precedence.
     """
 
     metric = None
 
-    def build(self, X, *, recorder: TraceRecorder = NULL_RECORDER) -> "Index":
+    def build(
+        self,
+        X,
+        *,
+        recorder: TraceRecorder = NULL_RECORDER,
+        ctx: ExecContext | None = None,
+    ) -> "Index":
         raise NotImplementedError
 
     def query(
-        self, Q, k: int = 1, *, recorder: TraceRecorder = NULL_RECORDER
+        self,
+        Q,
+        k: int = 1,
+        *,
+        recorder: TraceRecorder = NULL_RECORDER,
+        ctx: ExecContext | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         raise NotImplementedError

@@ -15,6 +15,7 @@ import numpy as np
 from ..metrics import get_metric
 from ..metrics.base import Metric
 from ..parallel.bruteforce import bf_knn, bf_range
+from ..runtime.context import ExecContext, resolve_ctx
 from ..simulator.trace import NULL_RECORDER, TraceRecorder
 from .base import Index
 
@@ -35,33 +36,49 @@ class BruteForceIndex(Index):
         self.X = None
         self.n = 0
 
-    def build(self, X, *, recorder: TraceRecorder = NULL_RECORDER):
+    def build(
+        self,
+        X,
+        *,
+        recorder: TraceRecorder = NULL_RECORDER,
+        ctx: ExecContext | None = None,
+    ):
         """Store the database (no preprocessing)."""
         self.X = X
         self.n = self.metric.length(X)
         return self
 
     def query(
-        self, Q, k: int = 1, *, recorder: TraceRecorder = NULL_RECORDER, **bf_kwargs
+        self,
+        Q,
+        k: int = 1,
+        *,
+        recorder: TraceRecorder = NULL_RECORDER,
+        executor=None,
+        ctx: ExecContext | None = None,
+        **bf_kwargs,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Extra ``bf_kwargs`` (``tile_cols``, ``row_chunk``) reach
-        :func:`~repro.parallel.bruteforce.bf_knn`; benchmarks use them to
-        set the parallel grain the machine models schedule."""
+        """Extra ``bf_kwargs`` (``tile_cols``, ``row_chunk``, ``dtype``)
+        reach :func:`~repro.parallel.bruteforce.bf_knn`; benchmarks use
+        them to set the parallel grain the machine models schedule.  An
+        explicit ``ctx`` (or ``executor=``) overrides the index's
+        configured executor for this call."""
         if self.X is None:
             raise RuntimeError("call build(X) first")
-        return bf_knn(
-            Q,
-            self.X,
-            self.metric,
-            k=k,
-            executor=self.executor,
-            recorder=recorder,
-            **bf_kwargs,
-        )
+        call = resolve_ctx(ctx, recorder=recorder, executor=executor)
+        call = call.overriding(ExecContext(executor=self.executor))
+        return bf_knn(Q, self.X, self.metric, k=k, ctx=call, **bf_kwargs)
 
     def range_query(
-        self, Q, eps: float, *, recorder: TraceRecorder = NULL_RECORDER
+        self,
+        Q,
+        eps: float,
+        *,
+        recorder: TraceRecorder = NULL_RECORDER,
+        ctx: ExecContext | None = None,
     ) -> list[tuple[np.ndarray, np.ndarray]]:
         if self.X is None:
             raise RuntimeError("call build(X) first")
-        return bf_range(Q, self.X, eps, self.metric, recorder=recorder)
+        return bf_range(
+            Q, self.X, eps, self.metric, ctx=resolve_ctx(ctx, recorder=recorder)
+        )

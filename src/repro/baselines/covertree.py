@@ -24,6 +24,7 @@ import numpy as np
 
 from ..metrics import get_metric
 from ..metrics.base import Metric
+from ..runtime.context import ExecContext, resolve_ctx
 from ..simulator.trace import NULL_RECORDER, Op, TraceRecorder
 from .base import Index
 
@@ -76,8 +77,15 @@ class CoverTree(Index):
         P = self.metric.take(self.X, ids)
         return self.metric.pairwise(q, P)[0]
 
-    def build(self, X, *, recorder: TraceRecorder = NULL_RECORDER) -> "CoverTree":
+    def build(
+        self,
+        X,
+        *,
+        recorder: TraceRecorder = NULL_RECORDER,
+        ctx: ExecContext | None = None,
+    ) -> "CoverTree":
         """Insert every point; deterministic given the dataset order."""
+        recorder = resolve_ctx(ctx, recorder=recorder).recorder
         self.X = X
         self.n = self.metric.length(X)
         if self.n == 0:
@@ -131,7 +139,12 @@ class CoverTree(Index):
 
     # -------------------------------------------------------------- query
     def query(
-        self, Q, k: int = 1, *, recorder: TraceRecorder = NULL_RECORDER
+        self,
+        Q,
+        k: int = 1,
+        *,
+        recorder: TraceRecorder = NULL_RECORDER,
+        ctx: ExecContext | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Exact k-NN by best-first search with the subtree-radius bound.
 
@@ -139,6 +152,7 @@ class CoverTree(Index):
         below the current k-th best distance; by the triangle inequality no
         pruned subtree can contain a closer point.
         """
+        recorder = resolve_ctx(ctx, recorder=recorder).recorder
         if self.root is None:
             raise RuntimeError("call build(X) first")
         if k < 1:

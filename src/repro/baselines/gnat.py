@@ -25,6 +25,7 @@ import numpy as np
 
 from ..metrics import get_metric
 from ..metrics.base import Metric
+from ..runtime.context import ExecContext, resolve_ctx
 from ..simulator.trace import NULL_RECORDER, Op, TraceRecorder
 from .base import Index
 
@@ -67,7 +68,14 @@ class GNAT(Index):
         self.X = None
 
     # -------------------------------------------------------------- build
-    def build(self, X, *, recorder: TraceRecorder = NULL_RECORDER) -> "GNAT":
+    def build(
+        self,
+        X,
+        *,
+        recorder: TraceRecorder = NULL_RECORDER,
+        ctx: ExecContext | None = None,
+    ) -> "GNAT":
+        recorder = resolve_ctx(ctx, recorder=recorder).recorder
         self.X = X
         n = self.metric.length(X)
         if n == 0:
@@ -152,8 +160,14 @@ class GNAT(Index):
 
     # -------------------------------------------------------------- query
     def query(
-        self, Q, k: int = 1, *, recorder: TraceRecorder = NULL_RECORDER
+        self,
+        Q,
+        k: int = 1,
+        *,
+        recorder: TraceRecorder = NULL_RECORDER,
+        ctx: ExecContext | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
+        recorder = resolve_ctx(ctx, recorder=recorder).recorder
         if self.root is None:
             raise RuntimeError("call build(X) first")
         if k < 1:

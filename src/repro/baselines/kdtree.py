@@ -19,6 +19,7 @@ import numpy as np
 
 from ..metrics import Chebyshev, Euclidean, Manhattan, get_metric
 from ..metrics.base import Metric
+from ..runtime.context import ExecContext, resolve_ctx
 from ..simulator.trace import NULL_RECORDER, Op, TraceRecorder
 from .base import Index
 
@@ -62,7 +63,14 @@ class KDTree(Index):
         self.root = None
         self.X: np.ndarray | None = None
 
-    def build(self, X, *, recorder: TraceRecorder = NULL_RECORDER) -> "KDTree":
+    def build(
+        self,
+        X,
+        *,
+        recorder: TraceRecorder = NULL_RECORDER,
+        ctx: ExecContext | None = None,
+    ) -> "KDTree":
+        recorder = resolve_ctx(ctx, recorder=recorder).recorder
         X = np.ascontiguousarray(np.atleast_2d(np.asarray(X, dtype=np.float64)))
         if X.shape[0] == 0:
             raise ValueError("database is empty")
@@ -93,12 +101,18 @@ class KDTree(Index):
 
     # -------------------------------------------------------------- query
     def query(
-        self, Q, k: int = 1, *, recorder: TraceRecorder = NULL_RECORDER
+        self,
+        Q,
+        k: int = 1,
+        *,
+        recorder: TraceRecorder = NULL_RECORDER,
+        ctx: ExecContext | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         if self.root is None:
             raise RuntimeError("call build(X) first")
         if k < 1:
             raise ValueError("k must be >= 1")
+        recorder = resolve_ctx(ctx, recorder=recorder).recorder
         Q = np.atleast_2d(np.asarray(Q, dtype=np.float64))
         m = Q.shape[0]
         out_d = np.full((m, k), np.inf)

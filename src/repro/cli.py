@@ -131,6 +131,7 @@ def _cmd_compare(args) -> int:
     from .baselines import BruteForceIndex
     from .core import ExactRBC
     from .eval import traced_query
+    from .runtime import ExecContext
     from .simulator import AMD_48CORE
 
     X, Q = _load_data(args.data, args.scale, n_queries=args.queries)
@@ -138,10 +139,13 @@ def _cmd_compare(args) -> int:
         rng = np.random.default_rng(args.seed)
         take = rng.choice(X.shape[0], size=args.queries, replace=False)
         Q = X[take]
+    # both runs execute under an ExecContext; the harness adds the recorder
     brute = BruteForceIndex().build(X)
-    b = traced_query(brute, Q, [AMD_48CORE], k=args.k, tile_cols=2048)
+    b = traced_query(
+        brute, Q, [AMD_48CORE], k=args.k, ctx=ExecContext(tile_cols=2048)
+    )
     rbc = ExactRBC(seed=args.seed).build(X, n_reps=args.n_reps)
-    r = traced_query(rbc, Q, [AMD_48CORE], k=args.k)
+    r = traced_query(rbc, Q, [AMD_48CORE], k=args.k, ctx=ExecContext())
     same = bool(np.allclose(b.dist, r.dist, atol=1e-6))
     print(f"database {X.shape[0]} x {X.shape[1]}, {Q.shape[0]} queries, k={args.k}")
     print(f"answers identical: {same}")
@@ -152,6 +156,9 @@ def _cmd_compare(args) -> int:
         f"{r.sim_time(AMD_48CORE) * 1e3:9.3f} ms "
         f"({b.sim_time(AMD_48CORE) / r.sim_time(AMD_48CORE):.1f}x faster)"
     )
+    if args.report:
+        print("\n" + b.summary())
+        print("\n" + r.summary())
     return 0
 
 
@@ -209,6 +216,11 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--n-reps", type=int, default=None)
     c.add_argument("--scale", type=float, default=0.05)
     c.add_argument("--seed", type=int, default=0)
+    c.add_argument(
+        "--report",
+        action="store_true",
+        help="print the full per-run observability reports",
+    )
 
     g = sub.add_parser("knn-graph", help="all-k-NN graph of a dataset")
     g.add_argument("data", help="dataset name or .npy path")

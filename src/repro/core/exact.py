@@ -47,8 +47,9 @@ import numpy as np
 from ..metrics.engine import refine_topk
 from ..parallel.blocking import row_chunks
 from ..parallel.bruteforce import _is_batch, _record_dist_tile, _record_select
-from ..parallel.pool import ProcessExecutor, SerialExecutor, get_executor
+from ..parallel.pool import SerialExecutor
 from ..parallel.reduce import EMPTY_IDX, merge_group_topk, merge_topk, topk_of_block
+from ..runtime.context import ExecContext
 from ..simulator.trace import NULL_RECORDER, Op, TraceRecorder
 from .params import standard_n_reps
 from .rbc import RBCBase, sample_representatives
@@ -78,12 +79,17 @@ class ExactRBC(RBCBase):
         *,
         c: float = 1.0,
         recorder: TraceRecorder = NULL_RECORDER,
+        ctx: ExecContext | None = None,
     ) -> "ExactRBC":
         """Build: sample ``R``, then one ``BF(X, R)`` assigns every point to
         its nearest representative (paper §4).
 
         ``n_reps`` defaults to the standard setting ``c^{3/2} sqrt(n)``.
+        The build always computes in float64 (stored list distances and
+        radii must stay exact bounds), so only ``ctx``'s transport fields
+        — executor, recorder, chunking — apply here.
         """
+        ctx = self._call_ctx(ctx, recorder=recorder).transport()
         self._require_true_metric("the exact search's pruning")
         n = self.metric.length(X)
         if n == 0:
@@ -98,13 +104,7 @@ class ExactRBC(RBCBase):
         # the build routine is exactly BF(X, R) (paper §4)
         from ..parallel.bruteforce import bf_nn
 
-        dist, owner = bf_nn(
-            X,
-            rep_data,
-            self.metric,
-            executor=self.executor,
-            recorder=recorder,
-        )
+        dist, owner = bf_nn(X, rep_data, self.metric, ctx=ctx)
         build_evals = self.metric.counter.n_evals - evals0
 
         # group points by owner, each list ascending by distance to its rep
@@ -130,12 +130,18 @@ class ExactRBC(RBCBase):
         use_trim: bool = True,
         approx_eps: float = 0.0,
         recorder: TraceRecorder = NULL_RECORDER,
+        executor=None,
+        ctx: ExecContext | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Exact k-NN (or ``(1 + approx_eps)``-approximate if ``> 0``).
 
         The three rule flags exist for the ablation experiments; with all
         rules disabled the second stage degenerates to full brute force
         over every ownership list (still correct, just slow).
+
+        ``ctx`` (or the legacy ``recorder``/``executor`` kwargs it
+        subsumes) overrides the index configuration for this call; set
+        ``ctx`` fields win, then kwargs, then the index defaults.
 
         Returns ``(dist, idx)`` of shape ``(m, k)``, rows sorted ascending.
         """
@@ -144,15 +150,18 @@ class ExactRBC(RBCBase):
             raise ValueError("k must be >= 1")
         if approx_eps < 0:
             raise ValueError("approx_eps must be >= 0")
+        ctx = self._call_ctx(ctx, recorder=recorder, executor=executor)
+        recorder = ctx.recorder
+        dtype = ctx.dtype_or_default
         stats = SearchStats()
         nr = self.n_reps
-        engine = self._engine_active()
-        fp32 = engine and self.dtype == "float32"
+        engine = self._engine_active(ctx)
+        fp32 = engine and dtype == "float32"
 
         Qb = Q if _is_batch(self.metric, Q) else self.metric._as_batch(Q)
         m = self.metric.length(Qb)
         stats.n_queries = m
-        Qp = self.metric.prepare(Qb, dtype=self.dtype) if engine else None
+        Qp = self.metric.prepare(Qb, dtype=dtype) if engine else None
 
         # ---- stage 1: BF(Q, R) with all distances retained
         evals0 = self.metric.counter.n_evals
@@ -170,15 +179,6 @@ class ExactRBC(RBCBase):
         # ---- pruning + stage 2, parallel over query chunks
         psi = self.radii
         rep_owner, rep_pos = self._rep_positions()
-        if self.executor == "processes" or isinstance(self.executor, ProcessExecutor):
-            # stage 2 would ship the whole index state per chunk through a
-            # process pool; the batched kernels below are BLAS-bound and
-            # release the GIL, so chunks run inline instead
-            exec_ = SerialExecutor()
-            owns_exec = True
-        else:
-            exec_ = get_executor(self.executor)
-            owns_exec = self.executor is None or isinstance(self.executor, str)
 
         # float32 mode keeps extra result slots so rounding noise cannot
         # evict the true k-th neighbor before the float64 refinement
@@ -208,14 +208,14 @@ class ExactRBC(RBCBase):
 
         chunks = row_chunks(m, 256)
         evals1 = self.metric.counter.n_evals
-        try:
+        # stage 2 under a process pool would ship the whole index state per
+        # chunk; the batched kernels below are BLAS-bound and release the
+        # GIL, so the context degrades that backend to inline execution
+        with ctx.executor_scope(inline_processes=True) as exec_:
             if len(chunks) == 1 or isinstance(exec_, SerialExecutor):
                 parts = [task(ch) for ch in chunks]
             else:
                 parts = exec_.map(task, chunks)
-        finally:
-            if owns_exec:
-                exec_.close()
         stats.stage2_evals = self.metric.counter.n_evals - evals1
 
         dist = np.concatenate([p[0] for p in parts], axis=0)
@@ -247,7 +247,9 @@ class ExactRBC(RBCBase):
         out = np.empty((m, self.n_reps))
         with recorder.phase("exact:stage1"):
             if Qp is not None:
-                Rp = self._prepared_reps()
+                # the reps cache keys on dtype, so a per-call override via
+                # ExecContext gets (and keeps) its own prepared block
+                Rp = self._prepared_reps(str(Qp.data.dtype))
                 itemsize = float(Qp.data.dtype.itemsize)
                 for lo, hi in row_chunks(m, 1024):
                     out[lo:hi] = self.metric.pairwise_prepared(
@@ -398,7 +400,7 @@ class ExactRBC(RBCBase):
 
         engine = Qp is not None
         if engine:
-            Cp = self._prepared_cands()
+            Cp = self._prepared_cands(str(Qp.data.dtype))
             packed = self._packed
             squared = self.metric.squared_ok
             itemsize = float(Qp.data.dtype.itemsize)
@@ -465,7 +467,10 @@ class ExactRBC(RBCBase):
                     recorder, self.metric, rows.size, prefix_len, dim,
                     "exact:stage2", itemsize=itemsize,
                 )
-                _record_select(recorder, rows.size, prefix_len, "exact:stage2")
+                _record_select(
+                    recorder, rows.size, prefix_len, "exact:stage2",
+                    itemsize=itemsize,
+                )
                 if engine:
                     mask = D <= thr[rows][:, None]
                     if ragged:
@@ -483,11 +488,13 @@ class ExactRBC(RBCBase):
                 else:
                     merge_group_topk(dists, idxs, rows, D, prefix, n_valid=cut)
                 if recorder.enabled:
+                    # two (rows, k) candidate blocks: distances at the
+                    # compute itemsize plus int64 ids
                     recorder.record(
                         Op(
                             kind="reduce",
                             flops=4.0 * rows.size * k,
-                            bytes=8.0 * 4 * rows.size * k,
+                            bytes=2.0 * rows.size * k * (itemsize + 8.0),
                             vectorizable=True,
                             tag="exact:stage2:merge",
                         )
@@ -537,7 +544,7 @@ class ExactRBC(RBCBase):
                     Op(
                         kind="reduce",
                         flops=4.0 * c * k,
-                        bytes=8.0 * 4 * c * k,
+                        bytes=2.0 * c * k * (itemsize + 8.0),
                         vectorizable=True,
                         tag="exact:stage2:merge",
                     )
@@ -634,6 +641,7 @@ class ExactRBC(RBCBase):
         eps: float,
         *,
         recorder: TraceRecorder = NULL_RECORDER,
+        ctx: ExecContext | None = None,
     ) -> list[tuple[np.ndarray, np.ndarray]]:
         """Exact ε-range search: every point within ``eps`` of each query.
 
@@ -650,13 +658,16 @@ class ExactRBC(RBCBase):
         self._require_built()
         if eps < 0:
             raise ValueError("eps must be non-negative")
+        ctx = self._call_ctx(ctx, recorder=recorder)
+        recorder = ctx.recorder
+        dtype = ctx.dtype_or_default
         Qb = Q if _is_batch(self.metric, Q) else self.metric._as_batch(Q)
         m = self.metric.length(Qb)
-        engine = self._engine_active()
-        fp32 = engine and self.dtype == "float32"
-        Qp = self.metric.prepare(Qb, dtype=self.dtype) if engine else None
+        engine = self._engine_active(ctx)
+        fp32 = engine and dtype == "float32"
+        Qp = self.metric.prepare(Qb, dtype=dtype) if engine else None
         if engine:
-            Cp = self._prepared_cands()
+            Cp = self._prepared_cands(str(Qp.data.dtype))
             packed = self._packed
             itemsize = float(Qp.data.dtype.itemsize)
         D_R = self._stage1_distances(Qb, recorder, Qp=Qp)

@@ -24,6 +24,7 @@ from ..metrics import get_metric
 from ..metrics.base import Metric
 from ..parallel.bruteforce import _is_batch, _record_dist_tile
 from ..parallel.reduce import EMPTY_IDX, dedupe_rows, merge_topk, topk_of_block
+from ..runtime.context import ExecContext, resolve_ctx
 from ..simulator.trace import NULL_RECORDER, TraceRecorder
 from .oneshot import OneShotRBC
 from .stats import SearchStats
@@ -66,8 +67,14 @@ class HierarchicalOneShotRBC:
         inner_n_reps: int | None = None,
         inner_s: int | None = None,
         recorder: TraceRecorder = NULL_RECORDER,
+        ctx: ExecContext | None = None,
     ) -> "HierarchicalOneShotRBC":
-        """Build both levels (two brute-force calls, one per level)."""
+        """Build both levels (two brute-force calls, one per level).
+
+        ``ctx`` rides through to both level builds; each inner index still
+        applies its own configuration for whatever ``ctx`` leaves unset.
+        """
+        ctx = resolve_ctx(ctx, recorder=recorder)
         n = self.metric.length(X)
         if n == 0:
             raise ValueError("database is empty")
@@ -78,7 +85,7 @@ class HierarchicalOneShotRBC:
         self.outer = OneShotRBC(
             metric=self.metric, seed=self.seed, executor=self.executor
         )
-        self.outer.build(X, n_reps=n_reps, s=min(s, n), recorder=recorder)
+        self.outer.build(X, n_reps=n_reps, s=min(s, n), ctx=ctx)
 
         nr_actual = self.outer.n_reps
         inner_n_reps = (
@@ -100,7 +107,7 @@ class HierarchicalOneShotRBC:
             self.outer.rep_data,
             n_reps=inner_n_reps,
             s=inner_s,
-            recorder=recorder,
+            ctx=ctx,
         )
         return self
 
@@ -111,23 +118,27 @@ class HierarchicalOneShotRBC:
         *,
         n_probes: int = 2,
         recorder: TraceRecorder = NULL_RECORDER,
+        ctx: ExecContext | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Three brute-force hops: inner reps → outer reps → points.
 
         ``n_probes`` is applied at both levels (the routing level needs it
-        more, having two chances to miss).
+        more, having two chances to miss).  ``ctx`` carries the recorder
+        (and any execution overrides) through every hop.
         """
         if not self.is_built:
             raise RuntimeError("call build(X) before querying")
         if k < 1 or n_probes < 1:
             raise ValueError("k and n_probes must be >= 1")
+        ctx = resolve_ctx(ctx, recorder=recorder)
+        recorder = ctx.recorder
         metric = self.metric
         stats = SearchStats()
         evals0 = metric.counter.n_evals
 
         # levels 1+2: route to outer representatives via the inner cover
         _, rep_choice = self.inner.query(Q, k=n_probes, n_probes=n_probes,
-                                         recorder=recorder)
+                                         ctx=ctx)
         stats.stage1_evals = metric.counter.n_evals - evals0
 
         Qb = Q if _is_batch(metric, Q) else metric._as_batch(Q)

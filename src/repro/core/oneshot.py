@@ -28,6 +28,7 @@ from ..parallel.reduce import (
     merge_topk,
     topk_of_block,
 )
+from ..runtime.context import ExecContext
 from ..simulator.trace import NULL_RECORDER, TraceRecorder
 from .params import oneshot_params
 from .rbc import RBCBase, sample_representatives
@@ -59,13 +60,18 @@ class OneShotRBC(RBCBase):
         delta: float = 0.05,
         c: float = 1.0,
         recorder: TraceRecorder = NULL_RECORDER,
+        ctx: ExecContext | None = None,
     ) -> "OneShotRBC":
         """Build the cover: sample ``R``, then one ``BF(R, X)`` call.
 
         If ``n_reps``/``s`` are omitted they default to the Theorem-2
         setting ``n_r = s = c sqrt(n ln 1/delta)`` for the given expansion
-        rate ``c`` and failure probability ``delta``.
+        rate ``c`` and failure probability ``delta``.  The build always
+        computes in float64 (stored list distances and radii must stay
+        exact bounds), so only ``ctx``'s transport fields — executor,
+        recorder, chunking — apply here.
         """
+        ctx = self._call_ctx(ctx, recorder=recorder).transport()
         n = self.metric.length(X)
         if n == 0:
             raise ValueError("database is empty")
@@ -81,14 +87,7 @@ class OneShotRBC(RBCBase):
 
         evals0 = self.metric.counter.n_evals
         # the build routine is exactly BF(R, X) with k = s (paper §4)
-        dists, ids = bf_knn(
-            rep_data,
-            X,
-            self.metric,
-            k=s,
-            executor=self.executor,
-            recorder=recorder,
-        )
+        dists, ids = bf_knn(rep_data, X, self.metric, k=s, ctx=ctx)
         build_evals = self.metric.counter.n_evals - evals0
 
         lists = [row[row >= 0] for row in ids]
@@ -104,6 +103,8 @@ class OneShotRBC(RBCBase):
         *,
         n_probes: int = 1,
         recorder: TraceRecorder = NULL_RECORDER,
+        executor=None,
+        ctx: ExecContext | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """One-shot k-NN: ``BF(Q, R)`` then ``BF(q, X[L_r])`` per query.
 
@@ -112,6 +113,10 @@ class OneShotRBC(RBCBase):
         improving recall at proportional cost (the natural multi-probe
         analogue the paper's distributed future-work section suggests).
 
+        ``ctx`` (or the legacy ``recorder``/``executor`` kwargs it
+        subsumes) overrides the index configuration for this call; set
+        ``ctx`` fields win, then kwargs, then the index defaults.
+
         Returns ``(dist, idx)`` of shape ``(m, k)``; rows sorted ascending.
         Slots beyond the number of reachable candidates hold ``inf``/``-1``.
         """
@@ -119,22 +124,25 @@ class OneShotRBC(RBCBase):
         if k < 1 or n_probes < 1:
             raise ValueError("k and n_probes must be >= 1")
         n_probes = min(n_probes, self.n_reps)
+        ctx = self._call_ctx(ctx, recorder=recorder, executor=executor)
+        recorder = ctx.recorder
+        dtype = ctx.dtype_or_default
         stats = SearchStats()
-        engine = self._engine_active()
-        fp32 = engine and self.dtype == "float32"
+        engine = self._engine_active(ctx)
+        fp32 = engine and dtype == "float32"
 
         evals0 = self.metric.counter.n_evals
         # stage 1: nearest representative(s) by brute force (the engine
         # passes the cached prepared representative block, so nothing about
-        # R is recomputed across query batches)
+        # R is recomputed across query batches; the prepared block's dtype
+        # drives the stage-1 compute dtype, exactly as before)
         _, rep_local = bf_knn(
             Q,
             self.rep_data,
             self.metric,
             k=n_probes,
-            executor=self.executor,
-            recorder=recorder,
-            x_prepared=self._prepared_reps() if engine else None,
+            x_prepared=self._prepared_reps(dtype) if engine else None,
+            ctx=ctx.transport(),
         )
         stats.stage1_evals = self.metric.counter.n_evals - evals0
         m = rep_local.shape[0]
@@ -158,8 +166,8 @@ class OneShotRBC(RBCBase):
             # prepared operands: queries coerced once, candidate lists are
             # contiguous row slices of the pre-gathered candidate matrix,
             # and squared_ok metrics rank in the squared domain
-            Qp = self.metric.prepare(Qb, dtype=self.dtype)
-            Cp = self._prepared_cands()
+            Qp = self.metric.prepare(Qb, dtype=dtype)
+            Cp = self._prepared_cands(dtype)
             packed = self._packed
             squared = self.metric.squared_ok
             itemsize = float(Qp.data.dtype.itemsize)

@@ -40,7 +40,7 @@ class PackedLists:
     def __init__(self, lists: Sequence, dists: Sequence) -> None:
         if len(lists) != len(dists):
             raise ValueError("lists and dists must align")
-        sizes = np.array([len(l) for l in lists], dtype=np.int64)
+        sizes = np.array([len(lst) for lst in lists], dtype=np.int64)
         self.starts = np.zeros(sizes.size + 1, dtype=np.int64)
         np.cumsum(sizes, out=self.starts[1:])
         total = int(self.starts[-1])

@@ -25,9 +25,10 @@ from __future__ import annotations
 import numpy as np
 
 from ..metrics import get_metric
-from ..metrics.base import Metric, VectorMetric
+from ..metrics.base import Metric
 from ..metrics.engine import check_dtype, operand_cache
 from ..parallel.pool import Executor
+from ..runtime.context import ExecContext, resolve_ctx
 from ..simulator.trace import NULL_RECORDER, TraceRecorder
 from .packed import PackedLists
 from .stats import BuildStats, SearchStats
@@ -200,7 +201,7 @@ class RBCBase:
             n_points=self.n,
             n_reps=int(rep_ids.size),
             build_evals=build_evals,
-            list_sizes=[len(l) for l in lists],
+            list_sizes=[len(lst) for lst in lists],
         )
         self._bump_version()
 
@@ -210,35 +211,65 @@ class RBCBase:
         self._version += 1
         self._prep.clear()
 
-    def _engine_active(self) -> bool:
-        """Prepared-operand kernels apply to vector databases only, and the
-        process backend owns its operand copies (no sharing to prepare)."""
-        from ..parallel.pool import ProcessExecutor
-
-        if self.executor == "processes" or isinstance(self.executor, ProcessExecutor):
-            return False
-        return (
-            self.engine
-            and isinstance(self.metric, VectorMetric)
-            and isinstance(self.X, np.ndarray)
+    # ---------------------------------------------------- execution context
+    def _base_ctx(self) -> ExecContext:
+        """The index's own configuration as an execution context: the
+        fallback every per-call context merges over."""
+        return ExecContext(
+            executor=self.executor,
+            dtype=self.dtype,
+            engine=self.engine,
         )
 
-    def _prepared_reps(self):
-        """Prepared representative block (cached until the next update)."""
-        ent = self._prep.get("reps")
+    def _call_ctx(
+        self,
+        ctx: ExecContext | None,
+        *,
+        recorder: TraceRecorder | None = None,
+        executor=None,
+    ) -> ExecContext:
+        """Resolve one call's execution context.
+
+        Merge order (first set wins): explicit ``ctx`` fields, then the
+        legacy per-call kwargs, then the index configuration — so
+        ``query(..., recorder=r)`` and ``query(..., ctx=ExecContext(
+        recorder=r))`` are the same run.
+        """
+        call = resolve_ctx(ctx, recorder=recorder, executor=executor)
+        return call.overriding(self._base_ctx())
+
+    def _engine_active(self, ctx: ExecContext | None = None) -> bool:
+        """Prepared-operand kernels apply to vector databases only, and the
+        process backend owns its operand copies (no sharing to prepare).
+        The rule itself lives on :meth:`ExecContext.engine_active`."""
+        ctx = self._base_ctx() if ctx is None else ctx
+        return ctx.engine_active(self.metric, self.X)
+
+    def _prepared_reps(self, dtype: str | None = None):
+        """Prepared representative block (cached until the next update).
+
+        ``dtype`` defaults to the index's own; a per-call override (via
+        :class:`ExecContext`) caches under its own key, so alternating
+        dtypes never thrash a single slot.
+        """
+        dtype = self.dtype if dtype is None else dtype
+        key = ("reps", dtype)
+        ent = self._prep.get(key)
         if ent is None:
             ent = operand_cache.get(
-                self.metric, self.rep_data, dtype=self.dtype, version=self._version
+                self.metric, self.rep_data, dtype=dtype, version=self._version
             )
-            self._prep["reps"] = ent
+            self._prep[key] = ent
         return ent
 
-    def _prepared_cands(self):
+    def _prepared_cands(self, dtype: str | None = None):
         """Prepared pre-gathered candidate matrix, aligned with the packed
         list storage: backing row ``t`` holds the database point
         ``packed.ids[t]``, so every stage-2 list prefix is a contiguous
         slice of compute-ready rows (slack rows are zero-filled)."""
-        ent = self._prep.get("cands")
+        dtype = self.dtype if dtype is None else dtype
+        key = ("cands", dtype)
+        ent = self._prep.get(key)
         if ent is None:
             packed = self._packed
             # clip slack/stale ids into range: those rows are never read
@@ -248,12 +279,12 @@ class RBCBase:
                 safe_ids[hi : packed.starts[j + 1]] = 0
             gathered = self.X[safe_ids]
             ent = operand_cache.get(
-                self.metric, gathered, dtype=self.dtype, version=self._version
+                self.metric, gathered, dtype=dtype, version=self._version
             )
             # keep the gathered matrix alive alongside its prepared form
             # (the cache holds only a weak reference to it)
-            self._prep["cands"] = ent
-            self._prep["cands_src"] = gathered
+            self._prep[key] = ent
+            self._prep[("cands_src", dtype)] = gathered
         return ent
 
     # ------------------------------------------------------ dynamic updates
@@ -324,19 +355,29 @@ class RBCBase:
             total += (self._X_buf.shape[0] - self.n) * self.X.itemsize * (
                 self.X.shape[1] if self.X.ndim == 2 else 1
             )
-        src = self._prep.get("cands_src")
-        if src is not None:
-            total += src.nbytes
+        for key, val in self._prep.items():
+            if isinstance(key, tuple) and key[0] == "cands_src":
+                total += val.nbytes
         return total
 
     # ------------------------------------------------------------ interface
     def build(
-        self, X, n_reps: int | None = None, *, recorder: TraceRecorder = NULL_RECORDER
+        self,
+        X,
+        n_reps: int | None = None,
+        *,
+        recorder: TraceRecorder = NULL_RECORDER,
+        ctx: ExecContext | None = None,
     ) -> "RBCBase":
         raise NotImplementedError
 
     def query(
-        self, Q, k: int = 1, *, recorder: TraceRecorder = NULL_RECORDER
+        self,
+        Q,
+        k: int = 1,
+        *,
+        recorder: TraceRecorder = NULL_RECORDER,
+        ctx: ExecContext | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         raise NotImplementedError
 

@@ -33,6 +33,7 @@ from ..core.exact import ExactRBC
 from ..metrics import get_metric
 from ..parallel.bruteforce import _record_dist_tile
 from ..parallel.reduce import EMPTY_IDX, merge_topk, topk_of_block
+from ..runtime.context import ExecContext, resolve_ctx
 from ..simulator.machine import simulate
 from ..simulator.trace import TraceRecorder
 from .cluster import ClusterSpec, CommStats
@@ -113,14 +114,23 @@ class DistributedRBC:
         self.rep_node: np.ndarray | None = None
         self.last_report: DistRunReport | None = None
 
-    def build(self, X, n_reps: int | None = None, *, c: float = 1.0):
+    def build(
+        self,
+        X,
+        n_reps: int | None = None,
+        *,
+        c: float = 1.0,
+        ctx: ExecContext | None = None,
+    ):
         """Build the cover centrally, then shard lists by representative.
 
         Build communication is one-time: each node receives its
-        representatives' points (counted in ``build_comm``).
+        representatives' points (counted in ``build_comm``).  ``ctx``
+        carries the coordinator-side execution state (executor, recorder)
+        into the central :class:`ExactRBC` build.
         """
         self.index = ExactRBC(metric=self.metric, seed=self.seed)
-        self.index.build(X, n_reps=n_reps, c=c)
+        self.index.build(X, n_reps=n_reps, c=c, ctx=resolve_ctx(ctx).transport())
         sizes = [lst.size for lst in self.index.lists]
         self.node_reps = partition_by_representatives(
             sizes, self.cluster.n_nodes
@@ -151,10 +161,18 @@ class DistributedRBC:
             for reps in self.node_reps
         ]
 
-    def query(self, Q, k: int = 1) -> tuple[np.ndarray, np.ndarray]:
-        """Exact k-NN over the cluster; cost breakdown in ``last_report``."""
+    def query(
+        self, Q, k: int = 1, *, ctx: ExecContext | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Exact k-NN over the cluster; cost breakdown in ``last_report``.
+
+        ``ctx.recorder`` (when set) additionally receives the coordinator
+        and node-scan operation phases, so a distributed run shows up in a
+        harness :class:`~repro.runtime.report.RunReport` like any other.
+        """
         if self.index is None:
             raise RuntimeError("call build(X) first")
+        run_rec = resolve_ctx(ctx).recorder
         idx = self.index
         metric = self.metric
         cluster = self.cluster
@@ -165,9 +183,11 @@ class DistributedRBC:
 
         # ---- coordinator: BF(Q, R), gamma, pruning (exact-search rules)
         coord_rec = TraceRecorder()
-        with coord_rec.phase("coord:stage1"):
+        with run_rec.phase("coord:stage1"), coord_rec.phase("coord:stage1"):
             D_R = metric.pairwise(Qb, idx.rep_data)
             _record_dist_tile(coord_rec, metric, m, nr, dim, "coord:stage1")
+            if run_rec.enabled:
+                _record_dist_tile(run_rec, metric, m, nr, dim, "coord:stage1")
         kk = min(k, nr)
         gamma = np.partition(D_R, kk - 1, axis=1)[:, kk - 1]
 
@@ -216,20 +236,27 @@ class DistributedRBC:
             [] for _ in range(cluster.n_nodes)
         ]
         node_times = []
-        for w, tasks in enumerate(per_node_tasks):
-            counts = []
-            for qi, cand in tasks:
-                D2 = metric.pairwise(
-                    metric.take(Qb, [qi]), metric.take(idx.X, cand)
+        with run_rec.phase("node:scan"):
+            for w, tasks in enumerate(per_node_tasks):
+                counts = []
+                for qi, cand in tasks:
+                    D2 = metric.pairwise(
+                        metric.take(Qb, [qi]), metric.take(idx.X, cand)
+                    )
+                    d, li = topk_of_block(D2, k)
+                    gi = np.where(
+                        li[0] >= 0, cand[np.clip(li[0], 0, None)], EMPTY_IDX
+                    )
+                    node_results[w].append((qi, d[0], gi))
+                    node_evals[w] += cand.size
+                    counts.append(cand.size)
+                    if run_rec.enabled and cand.size:
+                        _record_dist_tile(
+                            run_rec, metric, 1, cand.size, dim, "node:scan"
+                        )
+                node_times.append(
+                    _node_compute_time(cluster.nodes[w], metric, dim, counts)
                 )
-                d, li = topk_of_block(D2, k)
-                gi = np.where(li[0] >= 0, cand[np.clip(li[0], 0, None)], EMPTY_IDX)
-                node_results[w].append((qi, d[0], gi))
-                node_evals[w] += cand.size
-                counts.append(cand.size)
-            node_times.append(
-                _node_compute_time(cluster.nodes[w], metric, dim, counts)
-            )
 
         # ---- gather + merge at the coordinator
         bytes_from = [
@@ -292,7 +319,7 @@ class DistributedBruteForce:
         self.shards: list[np.ndarray] = []
         self.last_report: DistRunReport | None = None
 
-    def build(self, X):
+    def build(self, X, *, ctx: ExecContext | None = None):
         self.X = X
         n = self.metric.length(X)
         if n == 0:
@@ -313,9 +340,12 @@ class DistributedBruteForce:
             raise RuntimeError("call build(X) first")
         return [int(s.size) for s in self.shards]
 
-    def query(self, Q, k: int = 1) -> tuple[np.ndarray, np.ndarray]:
+    def query(
+        self, Q, k: int = 1, *, ctx: ExecContext | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
         if self.X is None:
             raise RuntimeError("call build(X) first")
+        run_rec = resolve_ctx(ctx).recorder
         metric = self.metric
         cluster = self.cluster
         Qb = Q if isinstance(Q, np.ndarray) and Q.ndim == 2 else metric._as_batch(Q)
@@ -327,21 +357,26 @@ class DistributedBruteForce:
         node_evals = []
         node_times = []
         partials = []
-        for w, shard in enumerate(self.shards):
-            if shard.size == 0:
-                node_evals.append(0)
-                node_times.append(0.0)
-                partials.append(None)
-                continue
-            D = metric.pairwise(Qb, metric.take(self.X, shard))
-            d, li = topk_of_block(D, k)
-            gi = np.where(li >= 0, shard[np.clip(li, 0, None)], EMPTY_IDX)
-            partials.append((d, gi))
-            node_evals.append(int(D.size))
-            rec = TraceRecorder()
-            with rec.phase("node"):
-                _record_dist_tile(rec, metric, m, shard.size, dim, "node:scan")
-            node_times.append(simulate(rec.trace, cluster.nodes[w]).time_s)
+        with run_rec.phase("node:scan"):
+            for w, shard in enumerate(self.shards):
+                if shard.size == 0:
+                    node_evals.append(0)
+                    node_times.append(0.0)
+                    partials.append(None)
+                    continue
+                D = metric.pairwise(Qb, metric.take(self.X, shard))
+                d, li = topk_of_block(D, k)
+                gi = np.where(li >= 0, shard[np.clip(li, 0, None)], EMPTY_IDX)
+                partials.append((d, gi))
+                node_evals.append(int(D.size))
+                if run_rec.enabled:
+                    _record_dist_tile(
+                        run_rec, metric, m, shard.size, dim, "node:scan"
+                    )
+                rec = TraceRecorder()
+                with rec.phase("node"):
+                    _record_dist_tile(rec, metric, m, shard.size, dim, "node:scan")
+                node_times.append(simulate(rec.trace, cluster.nodes[w]).time_s)
 
         bytes_from = [float(m * k * (_FLOAT_BYTES + _ID_BYTES))] * cluster.n_nodes
         out_d = np.full((m, k), np.inf)

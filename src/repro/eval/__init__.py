@@ -1,5 +1,6 @@
 """Evaluation: rank error, recall, and the experiment harness."""
 
+from ..runtime.report import RunReport
 from .plots import ascii_plot
 from .harness import QueryRun, format_table, geomean, traced_build, traced_query
 from .rank import mean_rank, ranks_of_results
@@ -8,6 +9,7 @@ from .recall import distance_ratio, recall_at_k, results_match_exactly
 __all__ = [
     "ascii_plot",
     "QueryRun",
+    "RunReport",
     "format_table",
     "geomean",
     "traced_build",

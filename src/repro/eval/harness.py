@@ -4,76 +4,105 @@ Every benchmark follows the same recipe: build an index, run a traced
 query batch, replay the trace on the relevant machine models, and compare
 against brute force on the same models.  This module centralizes that
 recipe so each benchmark file only declares its workload and parameters.
+
+``traced_query``/``traced_build`` are thin wrappers over the unified
+runtime: each run executes under an :class:`~repro.runtime.context.
+ExecContext` whose :class:`~repro.runtime.context.TimingRecorder` collects
+the trace and per-phase wall clock, and returns a
+:class:`~repro.runtime.report.RunReport` — one uniform observability
+record carrying results, counter windows, per-phase flops/bytes/wall time,
+operand-cache activity, rule counts, and the machine-model replays.
+:data:`QueryRun` remains as a backward-compatible alias of ``RunReport``,
+and ``traced_build``'s report supports the machine-name indexing its old
+dict return value had.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-
 import numpy as np
 
-from ..simulator.machine import MachineSpec, SimResult, simulate
-from ..simulator.trace import TraceRecorder
+from ..runtime.context import ExecContext, TimingRecorder, resolve_ctx
+from ..runtime.report import RunReport, collect_report
+from ..simulator.machine import MachineSpec
 
 __all__ = ["QueryRun", "traced_query", "traced_build", "format_table", "geomean"]
 
-
-@dataclass
-class QueryRun:
-    """Everything measured for one query batch on one index."""
-
-    name: str
-    dist: np.ndarray
-    idx: np.ndarray
-    wall_s: float
-    #: distance evaluations spent by this batch
-    evals: int
-    #: machine-name -> simulated replay of the recorded trace
-    sims: dict[str, SimResult] = field(default_factory=dict)
-
-    def sim_time(self, machine: MachineSpec) -> float:
-        return self.sims[machine.name].time_s
+#: backward-compatible name: harness runs have always returned "a QueryRun";
+#: they now return the runtime's RunReport, a strict superset of it
+QueryRun = RunReport
 
 
 def traced_query(
     index,
     Q,
-    machines: list[MachineSpec],
+    machines: list[MachineSpec] = (),
     *,
     k: int = 1,
     name: str | None = None,
+    ctx: ExecContext | None = None,
+    trace_ops: bool = True,
     **query_kwargs,
-) -> QueryRun:
-    """Run ``index.query`` once with tracing; replay on each machine.
+) -> RunReport:
+    """Run ``index.query`` once, instrumented; replay on each machine.
 
-    The index's metric counter is snapshotted around the call, so ``evals``
-    is exactly this batch's work.
+    The index's metric counter and the operand cache are snapshotted
+    around the call, so ``report.evals`` (and the cache window) is exactly
+    this batch's work.  ``ctx`` carries execution overrides (executor,
+    dtype, chunking) into the query; the harness supplies the recorder.
+    With ``trace_ops=False`` no machine-model trace is collected (``sims``
+    is empty) but per-phase wall time and the counter windows still are —
+    the near-zero-overhead mode.
     """
-    recorder = TraceRecorder()
-    before = index.metric.counter.n_evals
-    t0 = time.perf_counter()
-    dist, idx = index.query(Q, k, recorder=recorder, **query_kwargs)
-    wall = time.perf_counter() - t0
-    evals = index.metric.counter.n_evals - before
-    sims = {m.name: simulate(recorder.trace, m) for m in machines}
-    return QueryRun(
-        name=name or type(index).__name__,
+    recorder = TimingRecorder(trace_ops=trace_ops)
+    run_ctx = resolve_ctx(ctx).with_recorder(recorder)
+    with run_ctx.observe(index.metric) as obs:
+        if ctx is None:
+            # legacy protocol: any index with a recorder= kwarg works
+            dist, idx = index.query(Q, k, recorder=recorder, **query_kwargs)
+        else:
+            dist, idx = index.query(Q, k, ctx=run_ctx, **query_kwargs)
+    return collect_report(
+        name or type(index).__name__,
+        run_ctx,
+        obs,
         dist=dist,
         idx=idx,
-        wall_s=wall,
-        evals=evals,
-        sims=sims,
+        stats=getattr(index, "last_stats", None),
+        machines=machines,
     )
 
 
 def traced_build(
-    index, X, machines: list[MachineSpec], **build_kwargs
-) -> dict[str, SimResult]:
-    """Build ``index`` on ``X`` with tracing; replay on each machine."""
-    recorder = TraceRecorder()
-    index.build(X, recorder=recorder, **build_kwargs)
-    return {m.name: simulate(recorder.trace, m) for m in machines}
+    index,
+    X,
+    machines: list[MachineSpec] = (),
+    *,
+    name: str | None = None,
+    ctx: ExecContext | None = None,
+    trace_ops: bool = True,
+    **build_kwargs,
+) -> RunReport:
+    """Build ``index`` on ``X``, instrumented; replay on each machine.
+
+    Returns a :class:`~repro.runtime.report.RunReport` (``dist``/``idx``
+    are ``None`` for builds).  The report indexes by machine name —
+    ``report[machine.name].time_s`` — exactly like the plain dict this
+    function used to return.
+    """
+    recorder = TimingRecorder(trace_ops=trace_ops)
+    run_ctx = resolve_ctx(ctx).with_recorder(recorder)
+    with run_ctx.observe(index.metric) as obs:
+        if ctx is None:
+            index.build(X, recorder=recorder, **build_kwargs)
+        else:
+            index.build(X, ctx=run_ctx, **build_kwargs)
+    return collect_report(
+        name or f"{type(index).__name__}:build",
+        run_ctx,
+        obs,
+        stats=None,
+        machines=machines,
+    )
 
 
 def geomean(values) -> float:

@@ -14,7 +14,10 @@ like dense linear algebra:
 Row chunks and tiles are mapped over an :class:`~repro.parallel.pool.Executor`,
 and every tile/merge is optionally recorded into a
 :class:`~repro.simulator.trace.TraceRecorder` so the machine models can
-replay the exact work performed.
+replay the exact work performed.  Both are carried by an
+:class:`~repro.runtime.context.ExecContext` — the legacy ``executor=`` /
+``recorder=`` kwargs are thin adapters over it (explicit ``ctx`` fields
+win, kwargs fill the rest).
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ import numpy as np
 from ..metrics import get_metric
 from ..metrics.base import Metric, VectorMetric
 from ..metrics.engine import check_dtype, prepare_operands, refine_topk
+from ..runtime.context import ExecContext, resolve_ctx
 from ..simulator.trace import NULL_RECORDER, Op, TraceRecorder
 from .blocking import choose_tile_cols, row_chunks
 from .pool import (
@@ -78,14 +82,23 @@ def _record_dist_tile(
         done += r
 
 
-def _record_select(recorder: TraceRecorder, rows: int, cols: int, tag: str) -> None:
+def _record_select(
+    recorder: TraceRecorder,
+    rows: int,
+    cols: int,
+    tag: str,
+    itemsize: float = 8.0,
+) -> None:
+    # the selection streams the (rows, cols) distance block once; its
+    # operand traffic scales with the compute dtype, exactly like the
+    # distance tiles that produced it
     if not recorder.enabled or rows <= 0 or cols <= 0:
         return
     recorder.record(
         Op(
             kind="reduce",
             flops=float(rows * cols),
-            bytes=8.0 * rows * cols,
+            bytes=itemsize * rows * cols,
             vectorizable=True,
             tag=tag,
         )
@@ -98,6 +111,7 @@ def _merge_candidates(
     k: int,
     recorder: TraceRecorder,
     tag: str,
+    itemsize: float = 8.0,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Tree-merge per-tile top-k candidate blocks (recorded)."""
     if len(candidates) == 1:
@@ -105,15 +119,18 @@ def _merge_candidates(
     with recorder.phase(f"{tag}:merge"):
 
         def merge(a, b):
-            recorder.record(
-                Op(
-                    kind="reduce",
-                    flops=4.0 * m * k,
-                    bytes=8.0 * 4 * m * k,
-                    vectorizable=True,
-                    tag=f"{tag}:merge",
+            if recorder.enabled:
+                # each merge reads two (m, k) candidate blocks: distances
+                # at the compute itemsize plus int64 ids
+                recorder.record(
+                    Op(
+                        kind="reduce",
+                        flops=4.0 * m * k,
+                        bytes=2.0 * m * k * (itemsize + 8.0),
+                        vectorizable=True,
+                        tag=f"{tag}:merge",
+                    )
                 )
-            )
             return merge_topk(a, b)
 
         return tree_reduce(candidates, merge)
@@ -173,8 +190,8 @@ def _knn_one_chunk_prepared(
                 recorder, metric, m, hi - lo, dim, tag, itemsize=itemsize
             )
             candidates.append(topk_of_block(D, k, col_offset=lo))
-            _record_select(recorder, m, hi - lo, tag)
-    return _merge_candidates(candidates, m, k, recorder, tag)
+            _record_select(recorder, m, hi - lo, tag, itemsize=itemsize)
+    return _merge_candidates(candidates, m, k, recorder, tag, itemsize=itemsize)
 
 
 def bf_knn(
@@ -186,11 +203,12 @@ def bf_knn(
     ids: np.ndarray | None = None,
     executor: str | Executor | None = None,
     tile_cols: int | None = None,
-    row_chunk: int = _DEFAULT_ROW_CHUNK,
-    recorder: TraceRecorder = NULL_RECORDER,
-    dtype: str = "float64",
+    row_chunk: int | None = None,
+    recorder: TraceRecorder | None = None,
+    dtype: str | None = None,
     x_prepared=None,
     refine: bool = True,
+    ctx: ExecContext | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """k nearest neighbors of each query by exhaustive search.
 
@@ -234,6 +252,11 @@ def bf_knn(
     refine:
         float64-refine the result of a ``float32`` search (ignored for
         float64).
+    ctx:
+        optional :class:`~repro.runtime.context.ExecContext` carrying the
+        same execution state as the kwargs above in one object.  Set
+        ``ctx`` fields win; the legacy kwargs fill whatever it leaves
+        unset, so both calling styles produce identical runs.
 
     Returns
     -------
@@ -241,6 +264,17 @@ def bf_knn(
         ``(m, k)`` arrays, rows sorted ascending.  When fewer than ``k``
         points are available, trailing slots hold ``inf`` / ``-1``.
     """
+    ctx = resolve_ctx(
+        ctx,
+        executor=executor,
+        recorder=recorder,
+        dtype=dtype,
+        row_chunk=row_chunk,
+        tile_cols=tile_cols,
+    )
+    recorder = ctx.recorder
+    dtype = ctx.dtype_or_default
+    row_chunk = ctx.row_chunk if ctx.row_chunk is not None else _DEFAULT_ROW_CHUNK
     metric_spec = metric
     metric = get_metric(metric)
     if k < 1:
@@ -265,9 +299,9 @@ def bf_knn(
     if n == 0:
         raise ValueError("database is empty")
     dim = metric.dim(X)
-    tile_cols = tile_cols or choose_tile_cols(n, dim)
+    tile_cols = ctx.tile_cols or choose_tile_cols(n, dim)
 
-    if executor == "processes" or isinstance(executor, ProcessExecutor):
+    if ctx.uses_processes:
         # Worker processes cannot unpickle the chunk closure below, so the
         # string spec is routed to module-level workers that rebuild the
         # metric by registry name.
@@ -283,10 +317,10 @@ def bf_knn(
                 "prepared operands (workers own their copies); use "
                 "'threads' or 'serial'"
             )
-        pool = executor if isinstance(executor, ProcessExecutor) else None
+        pool = ctx.executor if isinstance(ctx.executor, ProcessExecutor) else None
         if isinstance(metric, VectorMetric):
             dist, idx = bf_knn_processes(
-                Qb, X, name, k=k,
+                Qb, X, name, k=k, n_workers=ctx.n_workers,
                 row_chunk=row_chunk, tile_cols=tile_cols, executor=pool,
             )
         else:
@@ -297,7 +331,7 @@ def bf_knn(
             if pool is not None:
                 parts = pool.map(_proc_chunk_knn_pickled, tasks)
             else:
-                with get_executor("processes") as ex:
+                with get_executor("processes", ctx.n_workers) as ex:
                     parts = ex.map(_proc_chunk_knn_pickled, tasks)
             parts.sort(key=lambda t: t[0])
             dist = np.concatenate([p[1] for p in parts], axis=0)
@@ -309,9 +343,6 @@ def bf_knn(
             mask = idx >= 0
             idx[mask] = ids[idx[mask]]
         return dist, idx
-
-    exec_ = get_executor(executor)
-    owns_exec = executor is None or isinstance(executor, str)
 
     chunks = row_chunks(m, row_chunk)
 
@@ -349,14 +380,11 @@ def bf_knn(
             Qc = metric.take(Qb, np.arange(lo, hi)) if (lo, hi) != (0, m) else Qb
             return _knn_one_chunk(metric, Qc, X, k, tile_cols, recorder, dim, "bf")
 
-    try:
+    with ctx.executor_scope() as exec_:
         if len(chunks) == 1 or isinstance(exec_, SerialExecutor):
             parts = [task(c) for c in chunks]
         else:
             parts = exec_.map(task, chunks)
-    finally:
-        if owns_exec:
-            exec_.close()
 
     dist = np.concatenate([p[0] for p in parts], axis=0)
     idx = np.concatenate([p[1] for p in parts], axis=0)
@@ -396,8 +424,9 @@ def bf_range(
     *,
     ids: np.ndarray | None = None,
     tile_cols: int | None = None,
-    recorder: TraceRecorder = NULL_RECORDER,
-    dtype: str = "float64",
+    recorder: TraceRecorder | None = None,
+    dtype: str | None = None,
+    ctx: ExecContext | None = None,
 ) -> list[tuple[np.ndarray, np.ndarray]]:
     """ε-range search: all database points within distance ``eps`` of each
     query.  Returns, per query, ``(dist, idx)`` sorted by distance.
@@ -407,7 +436,16 @@ def bf_range(
     exact float64 distance, so the reported set and values match the
     float64 search up to genuinely borderline points within float32 noise
     of ``eps``.
+
+    An :class:`~repro.runtime.context.ExecContext` can carry the recorder,
+    dtype and tile sizing instead of the individual kwargs (set ``ctx``
+    fields win, kwargs fill the rest).  The scan itself is a single pass,
+    so the context's executor is not consulted here.
     """
+    ctx = resolve_ctx(ctx, recorder=recorder, dtype=dtype, tile_cols=tile_cols)
+    recorder = ctx.recorder
+    dtype = ctx.dtype_or_default
+    tile_cols = ctx.tile_cols
     metric = get_metric(metric)
     if eps < 0:
         raise ValueError("eps must be non-negative")

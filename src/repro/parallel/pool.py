@@ -20,8 +20,9 @@ All executors share a two-method protocol (``map``, ``close``) plus a
 from __future__ import annotations
 
 import os
-from collections.abc import Callable, Iterable, Sequence
+from collections.abc import Callable, Iterable
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 
@@ -34,6 +35,7 @@ __all__ = [
     "ProcessExecutor",
     "SharedArray",
     "get_executor",
+    "executor_scope",
     "default_workers",
 ]
 
@@ -169,3 +171,26 @@ def get_executor(
     if executor == "processes":
         return ProcessExecutor(n_workers)
     raise ValueError(f"unknown executor {executor!r}")
+
+
+@contextmanager
+def executor_scope(
+    executor: str | Executor | None, n_workers: int | None = None
+):
+    """Resolve an executor spec for the duration of one ``with`` block.
+
+    Ownership is decided once, here: a pool created from a spec (``None``
+    or a backend name) is closed when the block exits — normally *or by
+    exception* — while an :class:`Executor` instance passed in belongs to
+    the caller and is left open.  This replaces the hand-rolled
+    ``get_executor`` / ``owns_exec`` / ``try/finally close`` dance, which
+    leaked the pool when an exception fired between resolution and the
+    ``try``.
+    """
+    exec_ = get_executor(executor, n_workers)
+    owns = not isinstance(executor, Executor)
+    try:
+        yield exec_
+    finally:
+        if owns:
+            exec_.close()

@@ -103,9 +103,9 @@ def merge_topk(
         raise ValueError(f"shape mismatch {da.shape} vs {db.shape}")
     k = da.shape[1]
     D = np.concatenate([da, db], axis=1)
-    I = np.concatenate([ia, ib], axis=1)
+    ids = np.concatenate([ia, ib], axis=1)
     order = np.argsort(D, axis=1, kind="stable")[:, :k]
-    return np.take_along_axis(D, order, axis=1), np.take_along_axis(I, order, axis=1)
+    return np.take_along_axis(D, order, axis=1), np.take_along_axis(ids, order, axis=1)
 
 
 def merge_group_topk(

@@ -1,0 +1,23 @@
+"""Unified execution runtime: one context object per search run.
+
+:class:`ExecContext` bundles the cross-cutting execution state — scoped
+executor, trace recorder, engine/dtype policy, chunking policy — that the
+brute-force primitive, both RBC searches, every baseline, and the eval
+harness all share; :class:`RunReport` is the per-run observability record
+a context-driven run emits.  See :mod:`repro.runtime.context` for the
+merge semantics that keep the legacy ``recorder=``/``executor=`` kwargs
+working unchanged.
+"""
+
+from .context import ExecContext, Observation, TimingRecorder, resolve_ctx
+from .report import PhaseReport, RunReport, collect_report
+
+__all__ = [
+    "ExecContext",
+    "Observation",
+    "TimingRecorder",
+    "resolve_ctx",
+    "PhaseReport",
+    "RunReport",
+    "collect_report",
+]

@@ -1,0 +1,196 @@
+"""Per-run observability: the :class:`RunReport` a context-driven run emits.
+
+One uniform structure per build/query run, assembled from the pieces the
+:class:`~repro.runtime.context.ExecContext` already carries:
+
+* per-phase **wall time** (from :class:`~repro.runtime.context.TimingRecorder`),
+* per-phase and total **trace flops / bytes / op counts** (from the
+  recorded :class:`~repro.simulator.trace.Trace`),
+* the **distance-eval window** (exactly this run's work, snapshot-based),
+* the **operand-cache window** (preparations vs hits vs invalidations),
+* the index's **SearchStats rule counts** (pruning observables),
+* optional **machine-model replays** of the trace.
+
+The report is also the backward-compatible return type of
+:func:`repro.eval.harness.traced_query` / ``traced_build``: it carries the
+legacy ``QueryRun`` fields (``dist``, ``idx``, ``wall_s``, ``evals``,
+``sims``, ``sim_time``) and supports machine-name indexing
+(``report["amd-48core"]``) as the old ``traced_build`` dict did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..metrics.engine import CacheCounter
+from ..simulator.machine import MachineSpec, SimResult, simulate
+from .context import ExecContext, Observation
+
+__all__ = ["PhaseReport", "RunReport", "collect_report"]
+
+
+@dataclass
+class PhaseReport:
+    """Aggregated observables for one named phase of a run."""
+
+    name: str
+    wall_s: float = 0.0
+    flops: float = 0.0
+    bytes: float = 0.0
+    n_ops: int = 0
+
+
+@dataclass
+class RunReport:
+    """Everything observed about one run (build or query batch)."""
+
+    name: str
+    #: results (``None`` for builds)
+    dist: np.ndarray | None = None
+    idx: np.ndarray | None = None
+    #: end-to-end wall time of the run
+    wall_s: float = 0.0
+    #: distance evaluations spent by this run (exact counter window)
+    evals: int = 0
+    #: pairwise-kernel invocations in the same window
+    n_calls: int = 0
+    #: machine-name -> simulated replay of the recorded trace
+    sims: dict[str, SimResult] = field(default_factory=dict)
+    #: phase-name -> aggregated wall time / flops / bytes / op count
+    phases: dict[str, PhaseReport] = field(default_factory=dict)
+    #: trace totals (zero when tracing was off)
+    flops: float = 0.0
+    bytes: float = 0.0
+    n_ops: int = 0
+    #: operand-cache activity during the run (prepared vs hits)
+    cache: CacheCounter = field(default_factory=CacheCounter)
+    #: ``SearchStats.rule_counts()`` of the queried index, when available
+    rule_counts: dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------ accessors
+    def sim_time(self, machine: MachineSpec) -> float:
+        return self.sims[machine.name].time_s
+
+    @property
+    def phase_wall(self) -> dict[str, float]:
+        """Phase-name -> wall seconds (convenience view over ``phases``)."""
+        return {name: p.wall_s for name, p in self.phases.items()}
+
+    def __getitem__(self, machine_name: str) -> SimResult:
+        """Machine-name indexing, for compatibility with the dict that
+        ``traced_build`` used to return."""
+        return self.sims[machine_name]
+
+    def __contains__(self, machine_name: str) -> bool:
+        return machine_name in self.sims
+
+    def keys(self):
+        return self.sims.keys()
+
+    # ---------------------------------------------------------- presentation
+    def summary(self) -> str:
+        """Human-readable per-phase breakdown (CLI / notebook friendly)."""
+        lines = [
+            f"{self.name}: {self.wall_s * 1e3:.2f} ms wall, "
+            f"{self.evals} distance evals in {self.n_calls} kernel calls"
+        ]
+        if self.cache.n_prepared or self.cache.n_hits:
+            lines.append(
+                f"  operand cache: {self.cache.n_hits} hits, "
+                f"{self.cache.n_prepared} prepared, "
+                f"{self.cache.n_invalidated} invalidated"
+            )
+        for name in sorted(self.phases):
+            p = self.phases[name]
+            bits = []
+            if p.wall_s:
+                bits.append(f"{p.wall_s * 1e3:.2f} ms")
+            if p.n_ops:
+                bits.append(
+                    f"{p.n_ops} ops, {p.flops:.3g} flops, {p.bytes:.3g} B"
+                )
+            lines.append(f"  {name}: " + ", ".join(bits))
+        for key, val in self.rule_counts.items():
+            lines.append(f"  {key}: {val}")
+        for mname, sim in self.sims.items():
+            lines.append(f"  sim[{mname}]: {sim.time_s * 1e3:.3f} ms")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (results omitted)."""
+        return {
+            "name": self.name,
+            "wall_s": self.wall_s,
+            "evals": self.evals,
+            "n_calls": self.n_calls,
+            "flops": self.flops,
+            "bytes": self.bytes,
+            "n_ops": self.n_ops,
+            "phases": {
+                name: {
+                    "wall_s": p.wall_s,
+                    "flops": p.flops,
+                    "bytes": p.bytes,
+                    "n_ops": p.n_ops,
+                }
+                for name, p in self.phases.items()
+            },
+            "cache": {
+                "n_prepared": self.cache.n_prepared,
+                "n_hits": self.cache.n_hits,
+                "n_invalidated": self.cache.n_invalidated,
+            },
+            "rule_counts": dict(self.rule_counts),
+            "sims": {name: sim.time_s for name, sim in self.sims.items()},
+        }
+
+
+def collect_report(
+    name: str,
+    ctx: ExecContext,
+    obs: Observation,
+    *,
+    dist: np.ndarray | None = None,
+    idx: np.ndarray | None = None,
+    stats=None,
+    machines: list[MachineSpec] | tuple = (),
+) -> RunReport:
+    """Assemble a :class:`RunReport` from a finished observed run.
+
+    ``ctx.recorder`` supplies the trace (phase flops/bytes, machine-model
+    replays) and — when it is a :class:`TimingRecorder` — the per-phase
+    wall clock; ``obs`` supplies the counter windows; ``stats`` is the
+    index's :class:`~repro.core.stats.SearchStats` (or ``None``).
+    """
+    recorder = ctx.recorder
+    phases: dict[str, PhaseReport] = {}
+    trace = getattr(recorder, "trace", None)
+    if trace is not None:
+        for p in trace.phases:
+            agg = phases.setdefault(p.name, PhaseReport(p.name))
+            agg.flops += p.flops
+            agg.bytes += p.bytes
+            agg.n_ops += len(p.ops)
+    for pname, wall in getattr(recorder, "phase_wall", {}).items():
+        agg = phases.setdefault(pname, PhaseReport(pname))
+        agg.wall_s += wall
+    sims = (
+        {m.name: simulate(trace, m) for m in machines} if trace is not None else {}
+    )
+    return RunReport(
+        name=name,
+        dist=dist,
+        idx=idx,
+        wall_s=obs.wall_s,
+        evals=obs.evals,
+        n_calls=obs.n_calls,
+        sims=sims,
+        phases=phases,
+        flops=trace.flops if trace is not None else 0.0,
+        bytes=trace.bytes if trace is not None else 0.0,
+        n_ops=trace.n_ops if trace is not None else 0,
+        cache=obs.cache,
+        rule_counts=dict(stats.rule_counts()) if stats is not None else {},
+    )

@@ -63,7 +63,7 @@ def test_exact_delete_representative(small_vectors):
     rep = int(idx.rep_ids[3])
     idx.delete(rep)
     assert idx.rep_ids.size == 9
-    assert rep not in np.concatenate([l for l in idx.lists if l.size])
+    assert rep not in np.concatenate([lst for lst in idx.lists if lst.size])
     # orphans were reassigned to their nearest surviving representative
     D = idx.metric.pairwise(idx.metric.take(idx.X, idx.active_ids), idx.rep_data)
     nearest = D.min(axis=1)

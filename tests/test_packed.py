@@ -20,7 +20,7 @@ def random_lists(rng, n_lists, max_len=12):
 
 def assert_matches_model(packed, lists, dists):
     assert packed.n_lists == len(lists)
-    assert packed.total == sum(len(l) for l in lists)
+    assert packed.total == sum(len(lst) for lst in lists)
     for j, (l, d) in enumerate(zip(lists, dists)):
         np.testing.assert_array_equal(packed.ids_of(j), l)
         np.testing.assert_array_equal(packed.dists_of(j), d)
@@ -62,7 +62,7 @@ def test_segment_seq_interface(rng):
     with pytest.raises(TypeError):
         seq["nope"]
     # iteration works (Sequence protocol)
-    assert sum(len(l) for l in seq) == packed.total
+    assert sum(len(lst) for lst in seq) == packed.total
 
 
 @settings(max_examples=40, deadline=None)

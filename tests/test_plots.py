@@ -20,7 +20,7 @@ def test_single_series_renders():
 
 def test_extremes_land_on_corners():
     out = ascii_plot({"s": [(0, 0), (10, 10)]}, width=20, height=6)
-    lines = [l for l in out.splitlines() if "|" in l]
+    lines = [ln for ln in out.splitlines() if "|" in ln]
     assert lines[0].rstrip().endswith("o")  # max point at top-right
     # min point at bottom-left of the plot area
     assert lines[-1].split("|")[1][0] == "o"
@@ -38,7 +38,7 @@ def test_loglog_line_is_straightish():
     pts = [(10.0**i, 10.0 ** (2 * i)) for i in range(5)]
     out = ascii_plot({"s": pts}, logx=True, logy=True, width=41, height=21)
     cells = []
-    for r, line in enumerate(l for l in out.splitlines() if "|" in l):
+    for r, line in enumerate(ln for ln in out.splitlines() if "|" in ln):
         body = line.split("|", 1)[1]
         for c, ch in enumerate(body):
             if ch == "o":

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core import ExactRBC, OneShotRBC, sample_representatives
-from repro.metrics import get_metric
 
 
 def test_sample_bernoulli_expected_count(rng):

@@ -11,7 +11,6 @@ from hypothesis.extra.numpy import arrays
 
 from repro.parallel import (
     EMPTY_IDX,
-    SerialExecutor,
     ThreadExecutor,
     merge_topk,
     topk_of_block,

@@ -5,7 +5,6 @@ the same scrutiny as the search algorithms: speedups bounded by core
 counts, monotonicity in work, conservation of busy time, chain semantics.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
