@@ -1,0 +1,119 @@
+"""Streaming serving — per-call dispatch vs resident micro-batching.
+
+The acceptance experiment of the serving subsystem: queries arrive one at
+a time (a uniform 2000 q/s trace over the d=16 / n=20k Gaussian config)
+and are answered by two servers over the *same* warmed index on the
+thread backend:
+
+* **per-call** — ``BatchPolicy(max_batch=1)``: every arrival is its own
+  ``query()`` call, the pre-serving dispatch discipline;
+* **resident+batched** — the adaptive micro-batcher groups arrivals under
+  a 100 ms latency budget.
+
+Required: >= 3x throughput for the batched server, bit-identical float64
+answers, and batched p99 sojourn latency within the latency budget.
+Results are written to ``BENCH_serving.json`` at the repo root (uploaded
+as a CI artifact alongside ``BENCH_kernels.json``) so the serving perf
+trajectory is trackable across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+from conftest import bench_once
+
+from repro.core import ExactRBC
+from repro.eval import format_table
+from repro.runtime import ExecContext
+from repro.serving import BatchPolicy, StreamingSearcher
+
+BENCH_JSON = pathlib.Path(__file__).resolve().parents[1] / "BENCH_serving.json"
+
+#: acceptance config: d=16 Gaussian, n=20k database, streaming arrivals
+N, M, DIM, K = 20_000, 512, 16, 5
+QPS = 2_000.0
+MAX_DELAY_MS = 100.0
+MAX_BATCH = 256
+SPEEDUP_BAR = 3.0
+
+
+def test_streaming_speedup(rng, report, benchmark, out_dir):
+    X = rng.normal(size=(N, DIM))
+    Q = rng.normal(size=(M, DIM))
+    index = ExactRBC(seed=0).build(X)
+    ctx = ExecContext(executor="threads")
+
+    def run(max_batch: int, label: str):
+        policy = BatchPolicy(max_delay_ms=MAX_DELAY_MS, max_batch=max_batch)
+        with StreamingSearcher(index, k=K, policy=policy, ctx=ctx) as server:
+            return server.search_stream(Q, qps=QPS, name=label)
+
+    def experiment():
+        per_call = run(1, "per-call")
+        batched = run(MAX_BATCH, "resident+batched")
+        return per_call, batched
+
+    per_call, batched = bench_once(benchmark, experiment)
+
+    # ---- correctness: batching must be invisible in the answers
+    assert np.array_equal(per_call.dist, batched.dist), "dists not bit-identical"
+    assert np.array_equal(per_call.idx, batched.idx), "ids not identical"
+    assert per_call.rule_counts == batched.rule_counts
+
+    speedup = batched.throughput_qps / per_call.throughput_qps
+    rows = [
+        [
+            r.name,
+            r.throughput_qps,
+            r.latency.p50_s * 1e3,
+            r.latency.p95_s * 1e3,
+            r.latency.p99_s * 1e3,
+            r.mean_batch,
+            r.n_batches,
+        ]
+        for r in (per_call, batched)
+    ]
+    report(
+        "serving_stream",
+        format_table(
+            ["server", "q/s", "p50 ms", "p95 ms", "p99 ms", "batch", "flushes"],
+            rows,
+            title=(
+                f"Streaming serving (n={N}, d={DIM}, m={M} @ {QPS:g} q/s "
+                f"offered, k={K}, budget {MAX_DELAY_MS:g} ms) — "
+                f"speedup {speedup:.1f}x"
+            ),
+        ),
+    )
+
+    payload = {
+        "config": {
+            "n": N,
+            "dim": DIM,
+            "queries": M,
+            "k": K,
+            "qps_offered": QPS,
+            "max_delay_ms": MAX_DELAY_MS,
+            "max_batch": MAX_BATCH,
+            "backend": "threads",
+        },
+        "speedup": speedup,
+        "identical": True,
+        "per_call": per_call.to_dict(),
+        "batched": batched.to_dict(),
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+    # ---- acceptance bars
+    assert speedup >= SPEEDUP_BAR, (
+        f"micro-batched throughput {batched.throughput_qps:.0f} q/s is only "
+        f"{speedup:.2f}x per-call ({per_call.throughput_qps:.0f} q/s); "
+        f"need >= {SPEEDUP_BAR}x"
+    )
+    assert batched.latency.p99_s * 1e3 < MAX_DELAY_MS, (
+        f"batched p99 {batched.latency.p99_s * 1e3:.1f} ms exceeds the "
+        f"{MAX_DELAY_MS:g} ms budget"
+    )

@@ -29,12 +29,14 @@ from .baselines import BallTree, BruteForceIndex, CoverTree, KDTree
 from .core import ExactRBC, OneShotRBC, oneshot_params, standard_n_reps
 from .metrics import available_metrics, get_metric
 from .parallel import bf_knn, bf_nn, bf_range
-from .runtime import ExecContext, RunReport
+from .runtime import ExecContext, RunReport, StreamReport
+from .serving import BatchPolicy, StreamingSearcher
 
 __version__ = "1.0.0"
 
 __all__ = [
     "BallTree",
+    "BatchPolicy",
     "BruteForceIndex",
     "CoverTree",
     "KDTree",
@@ -42,6 +44,8 @@ __all__ = [
     "ExecContext",
     "OneShotRBC",
     "RunReport",
+    "StreamingSearcher",
+    "StreamReport",
     "oneshot_params",
     "standard_n_reps",
     "available_metrics",

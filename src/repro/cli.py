@@ -18,6 +18,10 @@ Commands
 ``knn-graph``
     Build the exact k-NN graph of a dataset (RBC-accelerated all-k-NN)
     and save the ``(dist, idx)`` arrays to ``.npz``.
+``serve-bench``
+    Streaming-serving benchmark: replay a query-arrival trace through a
+    per-call server and a resident micro-batched server, print latency
+    percentiles and throughput, verify the answers are identical.
 """
 
 from __future__ import annotations
@@ -162,6 +166,79 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_serve_bench(args) -> int:
+    import json
+
+    from .core import ExactRBC, OneShotRBC
+    from .eval import format_table
+    from .runtime import ExecContext
+    from .serving import BatchPolicy, StreamingSearcher
+
+    X, Q = _load_data(args.data, args.scale, n_queries=args.queries)
+    if Q is None:
+        rng = np.random.default_rng(args.seed)
+        take = rng.choice(X.shape[0], size=args.queries, replace=False)
+        Q = X[take]
+    if args.algorithm == "exact":
+        index = ExactRBC(seed=args.seed).build(X)
+    else:
+        index = OneShotRBC(seed=args.seed).build(X)
+    ctx = ExecContext(executor=args.backend) if args.backend else None
+
+    def run(max_batch: int, label: str):
+        policy = BatchPolicy(max_delay_ms=args.max_delay_ms, max_batch=max_batch)
+        with StreamingSearcher(index, k=args.k, policy=policy, ctx=ctx) as srv:
+            return srv.search_stream(Q, qps=args.qps, name=label)
+
+    per_call = run(1, "per-call")
+    batched = run(args.max_batch, "resident+batched")
+
+    identical = bool(
+        np.array_equal(per_call.dist, batched.dist)
+        and np.array_equal(per_call.idx, batched.idx)
+    )
+    rows = [
+        [
+            r.name,
+            r.throughput_qps,
+            r.latency.p50_s * 1e3,
+            r.latency.p95_s * 1e3,
+            r.latency.p99_s * 1e3,
+            r.mean_batch,
+            r.n_batches,
+        ]
+        for r in (per_call, batched)
+    ]
+    print(
+        f"database {X.shape[0]} x {X.shape[1]}, {Q.shape[0]} queries at "
+        f"{args.qps:g} q/s offered, k={args.k}, "
+        f"budget {args.max_delay_ms:g} ms"
+    )
+    print(
+        format_table(
+            ["server", "q/s", "p50 ms", "p95 ms", "p99 ms", "batch", "flushes"],
+            rows,
+        )
+    )
+    speedup = batched.throughput_qps / per_call.throughput_qps
+    print(f"\nbatched speedup: {speedup:.1f}x; answers identical: {identical}")
+    if args.json:
+        payload = {
+            "n": int(X.shape[0]),
+            "dim": int(X.shape[1]),
+            "queries": int(Q.shape[0]),
+            "qps_offered": float(args.qps),
+            "identical": identical,
+            "speedup": speedup,
+            "per_call": per_call.to_dict(),
+            "batched": batched.to_dict(),
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0 if identical else 1
+
+
 def _cmd_knn_graph(args) -> int:
     from .core.knngraph import knn_graph
 
@@ -222,6 +299,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the full per-run observability reports",
     )
 
+    s = sub.add_parser(
+        "serve-bench", help="streaming per-call vs micro-batched serving"
+    )
+    s.add_argument("data", help="dataset name or .npy path")
+    s.add_argument("-k", type=int, default=1)
+    s.add_argument("--queries", type=int, default=512)
+    s.add_argument("--algorithm", choices=["exact", "oneshot"], default="exact")
+    s.add_argument("--qps", type=float, default=2000.0, help="offered load")
+    s.add_argument("--max-delay-ms", type=float, default=100.0)
+    s.add_argument("--max-batch", type=int, default=256)
+    s.add_argument(
+        "--backend",
+        choices=["serial", "threads", "processes"],
+        default=None,
+        help="executor backend for the dispatched query calls",
+    )
+    s.add_argument("--scale", type=float, default=0.05)
+    s.add_argument("--seed", type=int, default=0)
+    s.add_argument("--json", default=None, help="write the full report here")
+
     g = sub.add_parser("knn-graph", help="all-k-NN graph of a dataset")
     g.add_argument("data", help="dataset name or .npy path")
     g.add_argument("-o", "--output", required=True, help="output .npz path")
@@ -239,6 +336,7 @@ _HANDLERS = {
     "dim": _cmd_dim,
     "compare": _cmd_compare,
     "knn-graph": _cmd_knn_graph,
+    "serve-bench": _cmd_serve_bench,
 }
 
 

@@ -269,6 +269,13 @@ class ExactRBC(RBCBase):
                     )
         return out
 
+    def warm(self, ctx: ExecContext | None = None) -> "ExactRBC":
+        """Additionally pre-computes the representative-position table the
+        batched stage 2 consults (see :meth:`RBCBase.warm`)."""
+        super().warm(ctx)
+        self._rep_positions()
+        return self
+
     def _rep_positions(self) -> tuple[np.ndarray, np.ndarray]:
         """Locate every representative inside the ownership lists.
 
@@ -278,7 +285,16 @@ class ExactRBC(RBCBase):
         prefix is already scanned.  ``owner`` is ``-1`` for a representative
         found in no list (cannot happen in a consistent exact build; treated
         as "not scanned").
+
+        The table depends only on the index state, but the scan that
+        builds it is a Python loop over every ownership list — by far the
+        largest *fixed* cost of a query call, which a one-query-at-a-time
+        stream pays over and over.  It is therefore cached per index
+        version (``_prep`` is cleared by every build/insert/delete).
         """
+        cached = self._prep.get("rep_positions")
+        if cached is not None:
+            return cached
         owner = np.full(self.n_reps, -1, dtype=np.int64)
         pos = np.zeros(self.n_reps, dtype=np.int64)
         for j, lst in enumerate(self.lists):
@@ -289,6 +305,7 @@ class ExactRBC(RBCBase):
                 ridx = np.searchsorted(self.rep_ids, lst[hit])
                 owner[ridx] = j
                 pos[ridx] = hit
+        self._prep["rep_positions"] = (owner, pos)
         return owner, pos
 
     def _stage2_chunk(

@@ -96,6 +96,35 @@ class OneShotRBC(RBCBase):
         self._finish_build(X, rep_ids, lists, list_dists, build_evals)
         return self
 
+    def warm(self, ctx: ExecContext | None = None) -> "OneShotRBC":
+        """Additionally pre-computes the uniform-layout flag that gates the
+        batched stage 2 (see :meth:`RBCBase.warm`)."""
+        super().warm(ctx)
+        self._uniform_layout()
+        return self
+
+    def _uniform_layout(self) -> tuple[int, bool]:
+        """``(L, uniform)``: common list length and whether every list has
+        it in tight packed storage (the batched stage-2 precondition).
+
+        Pure function of the index state; the ``np.all`` over the lengths
+        is a per-call fixed cost a one-query-at-a-time stream pays over and
+        over, so it is cached per index version (``_prep`` is cleared by
+        every build/insert/delete).
+        """
+        cached = self._prep.get("uniform_layout")
+        if cached is not None:
+            return cached
+        packed = self._packed
+        L = int(packed.lengths[0]) if packed.n_lists else 0
+        uniform = (
+            L > 0
+            and packed.capacity == packed.total
+            and bool(np.all(packed.lengths == L))
+        )
+        self._prep["uniform_layout"] = (L, uniform)
+        return L, uniform
+
     def query(
         self,
         Q,
@@ -181,13 +210,11 @@ class OneShotRBC(RBCBase):
         # Dynamic updates break the uniform layout; the group loop below
         # remains the general path (and the traced path: the batched kernel
         # is a pure speedup with identical results, not a new trace shape).
-        L = int(packed.lengths[0]) if engine and packed.n_lists else 0
+        L, uniform = self._uniform_layout() if engine else (0, False)
         use_batched = (
             engine
             and not recorder.enabled
-            and L > 0
-            and packed.capacity == packed.total
-            and bool(np.all(packed.lengths == L))
+            and uniform
             and (
                 (squared and Cp.sqnorms is not None)
                 or (not squared and Cp.norms is not None)

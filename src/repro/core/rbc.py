@@ -211,6 +211,22 @@ class RBCBase:
         self._version += 1
         self._prep.clear()
 
+    def warm(self, ctx: ExecContext | None = None) -> "RBCBase":
+        """Pre-populate the per-version caches the query hot path fills
+        lazily (prepared representatives and candidate matrix for the
+        effective dtype), so a serving front-end pays the one-time
+        preparation cost before the first query arrives instead of inside
+        its latency budget.  Idempotent; invalidated like everything else
+        by the next build/insert/delete.  Subclasses extend this with
+        their own derived structures."""
+        self._require_built()
+        ctx = self._base_ctx() if ctx is None else ctx.overriding(self._base_ctx())
+        if self._engine_active(ctx):
+            dtype = ctx.dtype_or_default
+            self._prepared_reps(dtype)
+            self._prepared_cands(dtype)
+        return self
+
     # ---------------------------------------------------- execution context
     def _base_ctx(self) -> ExecContext:
         """The index's own configuration as an execution context: the

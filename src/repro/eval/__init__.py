@@ -1,8 +1,15 @@
 """Evaluation: rank error, recall, and the experiment harness."""
 
-from ..runtime.report import RunReport
+from ..runtime.report import RunReport, StreamReport
 from .plots import ascii_plot
-from .harness import QueryRun, format_table, geomean, traced_build, traced_query
+from .harness import (
+    QueryRun,
+    format_table,
+    geomean,
+    streamed_query,
+    traced_build,
+    traced_query,
+)
 from .rank import mean_rank, ranks_of_results
 from .recall import distance_ratio, recall_at_k, results_match_exactly
 
@@ -10,8 +17,10 @@ __all__ = [
     "ascii_plot",
     "QueryRun",
     "RunReport",
+    "StreamReport",
     "format_table",
     "geomean",
+    "streamed_query",
     "traced_build",
     "traced_query",
     "mean_rank",

@@ -25,7 +25,14 @@ from ..runtime.context import ExecContext, TimingRecorder, resolve_ctx
 from ..runtime.report import RunReport, collect_report
 from ..simulator.machine import MachineSpec
 
-__all__ = ["QueryRun", "traced_query", "traced_build", "format_table", "geomean"]
+__all__ = [
+    "QueryRun",
+    "traced_query",
+    "traced_build",
+    "streamed_query",
+    "format_table",
+    "geomean",
+]
 
 #: backward-compatible name: harness runs have always returned "a QueryRun";
 #: they now return the runtime's RunReport, a strict superset of it
@@ -103,6 +110,39 @@ def traced_build(
         stats=None,
         machines=machines,
     )
+
+
+def streamed_query(
+    index,
+    Q,
+    *,
+    k: int = 1,
+    qps: float | None = None,
+    arrival_times=None,
+    policy=None,
+    name: str | None = None,
+    ctx: ExecContext | None = None,
+    **query_kwargs,
+):
+    """Replay a query-arrival trace through a serving session.
+
+    The streaming counterpart of :func:`traced_query`: queries arrive one
+    at a time (at ``qps`` or per ``arrival_times``), a
+    :class:`~repro.serving.searcher.StreamingSearcher` micro-batches them
+    under ``policy``'s latency budget, and the returned
+    :class:`~repro.runtime.report.StreamReport` carries latency
+    percentiles and throughput on top of the usual run observables.
+    Results (``report.dist``/``idx``) are in arrival order and identical
+    to per-query answers.
+    """
+    from ..serving import StreamingSearcher  # serving sits above eval
+
+    with StreamingSearcher(
+        index, k=k, policy=policy, ctx=ctx, **query_kwargs
+    ) as server:
+        return server.search_stream(
+            Q, qps=qps, arrival_times=arrival_times, name=name
+        )
 
 
 def geomean(values) -> float:

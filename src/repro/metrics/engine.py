@@ -46,6 +46,7 @@ __all__ = [
     "OperandCache",
     "operand_cache",
     "prepare_operands",
+    "rescore_pairs",
     "refine_topk",
     "COMPUTE_DTYPES",
 ]
@@ -246,25 +247,16 @@ def prepare_operands(metric, X, dtype: str = "float64", *, version: int = 0):
     return operand_cache.get(metric, X, dtype=dtype, version=version)
 
 
-def refine_topk(
-    metric,
-    Qb,
-    X,
-    idx: np.ndarray,
-    k: int,
-    *,
-    ids_are_global: bool = True,
-) -> tuple[np.ndarray, np.ndarray]:
-    """Re-score float32-selected candidates in float64 and re-rank to ``k``.
+def rescore_pairs(metric, Qb, X, idx: np.ndarray) -> np.ndarray:
+    """Exact float64 distances for an ``(m, k')`` candidate-id block.
 
-    ``idx`` is an ``(m, k')`` candidate-id block (``k' >= k``) selected by
-    the low-precision kernel; each row's candidates are re-scored with the
-    exact float64 ``metric.pairwise`` and the ``k`` nearest kept.  Padding
-    slots (id ``-1``) are ignored.  Returns ``(dist, idx)`` of shape
-    ``(m, k)``, rows sorted ascending, padded with ``inf``/``-1``.
-
-    The evaluations performed here are real work and are counted on the
-    metric's :class:`~repro.metrics.base.DistanceCounter` like any other.
+    Row ``i``'s candidates ``idx[i]`` are scored against query ``i`` with
+    the metric's *paired* kernel, whose per-pair reduction is independent
+    of how the rows are batched — so the scores are bit-identical whether
+    the queries arrive one at a time or in one block (the serving
+    pipeline's determinism anchor).  Padding slots (id ``-1``) score
+    ``inf``.  The evaluations are real work, counted on the metric's
+    :class:`~repro.metrics.base.DistanceCounter` like any other.
     """
     m, kk = idx.shape
     Qb = np.atleast_2d(np.asarray(Qb, dtype=np.float64))
@@ -280,6 +272,27 @@ def refine_topk(
             hi - lo, kk
         )
     d[idx < 0] = np.inf
+    return d
+
+
+def refine_topk(
+    metric,
+    Qb,
+    X,
+    idx: np.ndarray,
+    k: int,
+    *,
+    ids_are_global: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Re-score float32-selected candidates in float64 and re-rank to ``k``.
+
+    ``idx`` is an ``(m, k')`` candidate-id block (``k' >= k``) selected by
+    the low-precision kernel; each row's candidates are re-scored with the
+    exact float64 :func:`rescore_pairs` and the ``k`` nearest kept.
+    Padding slots (id ``-1``) are ignored.  Returns ``(dist, idx)`` of
+    shape ``(m, k)``, rows sorted ascending, padded with ``inf``/``-1``.
+    """
+    d = rescore_pairs(metric, Qb, X, idx)
     order = np.argsort(d, axis=1, kind="stable")[:, :k]
     out_d = np.take_along_axis(d, order, axis=1)
     out_i = np.take_along_axis(idx, order, axis=1).astype(np.int64, copy=False)

@@ -22,11 +22,13 @@ win, kwargs fill the rest).
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
 from ..metrics import get_metric
 from ..metrics.base import Metric, VectorMetric
-from ..metrics.engine import check_dtype, prepare_operands, refine_topk
+from ..metrics.engine import Prepared, check_dtype, prepare_operands, refine_topk
 from ..runtime.context import ExecContext, resolve_ctx
 from ..simulator.trace import NULL_RECORDER, Op, TraceRecorder
 from .blocking import choose_tile_cols, row_chunks
@@ -36,10 +38,18 @@ from .pool import (
     SerialExecutor,
     SharedArray,
     get_executor,
+    operand_store,
 )
 from .reduce import EMPTY_IDX, merge_topk, topk_of_block, tree_reduce
+from .scheduler import plan_row_chunks
 
-__all__ = ["bf_knn", "bf_nn", "bf_range", "bf_knn_processes"]
+__all__ = [
+    "bf_knn",
+    "bf_nn",
+    "bf_range",
+    "bf_knn_processes",
+    "register_resident_operands",
+]
 
 #: queries per row chunk; chunks are the unit mapped over the executor
 _DEFAULT_ROW_CHUNK = 512
@@ -319,9 +329,12 @@ def bf_knn(
             )
         pool = ctx.executor if isinstance(ctx.executor, ProcessExecutor) else None
         if isinstance(metric, VectorMetric):
+            # a gathered ids-subset is a fresh array per call: registering
+            # it would churn the resident store for zero reuse
             dist, idx = bf_knn_processes(
                 Qb, X, name, k=k, n_workers=ctx.n_workers,
                 row_chunk=row_chunk, tile_cols=tile_cols, executor=pool,
+                resident=ids is None,
             )
         else:
             tasks = [
@@ -343,8 +356,6 @@ def bf_knn(
             mask = idx >= 0
             idx[mask] = ids[idx[mask]]
         return dist, idx
-
-    chunks = row_chunks(m, row_chunk)
 
     if isinstance(metric, VectorMetric):
         # engine path: prepared operands (hoisted coercion + norms) and,
@@ -381,6 +392,13 @@ def bf_knn(
             return _knn_one_chunk(metric, Qc, X, k, tile_cols, recorder, dim, "bf")
 
     with ctx.executor_scope() as exec_:
+        if ctx.row_chunk is None and not isinstance(exec_, SerialExecutor):
+            # no explicit chunking: let the scheduler size chunks to the
+            # pool (static split for small inputs, dynamic oversubscription
+            # for large ones) instead of a fixed one-size row count
+            chunks = plan_row_chunks(m, exec_.n_workers)
+        else:
+            chunks = row_chunks(m, row_chunk)
         if len(chunks) == 1 or isinstance(exec_, SerialExecutor):
             parts = [task(c) for c in chunks]
         else:
@@ -593,6 +611,85 @@ def _proc_chunk_knn(args) -> tuple[int, np.ndarray, np.ndarray]:
     return lo, dist, idx
 
 
+def _as_shared_f64(A) -> np.ndarray:
+    """The canonical shared-memory operand form (and store-identity key)."""
+    return np.ascontiguousarray(np.atleast_2d(np.asarray(A, dtype=np.float64)))
+
+
+def register_resident_operands(metric, X: np.ndarray, *, version: int = 0) -> dict:
+    """Register ``X``'s prepared float64 operands in the process-wide
+    :data:`~repro.parallel.pool.operand_store`.
+
+    One shared-memory copy of the metric-prepared data plus its hoisted
+    per-row terms (norms) per ``(metric, array, version)`` — repeated
+    process-backend calls against the same database then ship only the
+    returned picklable handles, and resident workers keep their
+    attachments.  Serving front-ends call this once per index epoch (and
+    ``operand_store.release_for(X)`` on teardown).
+    """
+    metric = get_metric(metric)
+
+    def build(arr):
+        p = metric.prepare(arr, dtype="float64")
+        return {"data": p.data, "sqnorms": p.sqnorms, "norms": p.norms}
+
+    return operand_store.get(metric.cache_token(), X, version=version, build=build)
+
+
+#: worker-side attachment cache: data-segment name -> (handles, Prepared).
+#: Resident workers serve many calls; re-attaching (and rebuilding the
+#: Prepared views) per task would throw away exactly the residency the
+#: store buys.  Bounded FIFO; eviction closes the attachments.
+_ATTACH_MAX = 8
+_attach_cache: OrderedDict = OrderedDict()
+
+
+def _attach_prepared(handles: dict) -> Prepared:
+    key = handles["data"].name
+    ent = _attach_cache.get(key)
+    if ent is None:
+        opened = {name: h.open() for name, h in handles.items()}
+        ent = (
+            handles,
+            Prepared(
+                opened["data"], opened.get("sqnorms"), opened.get("norms")
+            ),
+        )
+        _attach_cache[key] = ent
+        while len(_attach_cache) > _ATTACH_MAX:
+            old, _ = _attach_cache.popitem(last=False)
+            for h in old.values():
+                h.close()
+    else:
+        _attach_cache.move_to_end(key)
+    return ent[1]
+
+
+def _proc_chunk_knn_resident(args) -> tuple[int, np.ndarray, np.ndarray]:
+    """Process-pool worker over store-resident prepared operands.
+
+    The database arrives as operand-store handles: data and norms are
+    attached once per worker (cached across tasks), so nothing about the
+    database is copied, pickled, or recomputed per call.  ``squared_ok``
+    metrics select in the squared domain with the root deferred to the
+    ``(chunk, k)`` result, exactly like the in-process engine path.
+    """
+    qh, handles, lo, hi, metric_name, k, tile_cols = args
+    metric = get_metric(metric_name)
+    Xp = _attach_prepared(handles)
+    Q = qh.open()
+    Qp = metric.prepare(Q[lo:hi], dtype=str(Xp.dtype))
+    squared = metric.squared_ok
+    dist, idx = _knn_one_chunk_prepared(
+        metric, Qp, Xp, k, tile_cols, NULL_RECORDER,
+        Xp.data.shape[1], "bf", squared,
+    )
+    if squared:
+        dist = metric.from_squared(dist)
+    qh.close()
+    return lo, dist, idx
+
+
 def bf_knn_processes(
     Q: np.ndarray,
     X: np.ndarray,
@@ -603,36 +700,58 @@ def bf_knn_processes(
     row_chunk: int = _DEFAULT_ROW_CHUNK,
     tile_cols: int | None = None,
     executor: Executor | None = None,
+    resident: bool = True,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Process-parallel ``bf_knn`` for vector metrics.
 
-    Operands are placed in POSIX shared memory once; workers attach by name,
-    so per-task pickling cost is O(1) regardless of data size.  Distance
-    evaluations happen in worker processes and are *not* reflected in the
-    parent's metric counters (``bf_knn(..., executor="processes")`` credits
-    them in bulk).  An already-running :class:`ProcessExecutor` can be
-    passed as ``executor`` to reuse its pool; it is left open.
+    With ``resident=True`` (default) the database's prepared operands live
+    in the :data:`~repro.parallel.pool.operand_store`: the shared-memory
+    copy and the norm hoist happen once per ``(metric, database)``, task
+    payloads carry only handles, and resident workers keep their
+    attachments across calls — so a query stream pays O(query) per call,
+    not O(database).  ``resident=False`` restores the transient per-call
+    segments (used for one-shot gathered subsets).  Only the query block
+    is ever copied per call.
+
+    Distance evaluations happen in worker processes and are *not*
+    reflected in the parent's metric counters
+    (``bf_knn(..., executor="processes")`` credits them in bulk).  An
+    already-running :class:`ProcessExecutor` can be passed as ``executor``
+    to reuse its pool; it is left open.  String-spec pools come from the
+    process-wide :class:`~repro.parallel.pool.ExecutorPool` registry and
+    stay warm between calls.
     """
     if not isinstance(metric, str):
         raise TypeError("process backend needs a registry metric name")
-    Q = np.ascontiguousarray(np.atleast_2d(np.asarray(Q, dtype=np.float64)))
-    X = np.ascontiguousarray(np.atleast_2d(np.asarray(X, dtype=np.float64)))
+    Q = _as_shared_f64(Q)
+    X = _as_shared_f64(X)
     tile_cols = tile_cols or choose_tile_cols(X.shape[0], X.shape[1])
     qh = SharedArray.from_array(Q)
-    xh = SharedArray.from_array(X)
+    xh = None
     try:
-        tasks = [
-            (qh, xh, lo, hi, metric, k, tile_cols)
-            for lo, hi in row_chunks(Q.shape[0], row_chunk)
-        ]
+        if resident:
+            handles = register_resident_operands(get_metric(metric), X)
+            worker = _proc_chunk_knn_resident
+            tasks = [
+                (qh, handles, lo, hi, metric, k, tile_cols)
+                for lo, hi in row_chunks(Q.shape[0], row_chunk)
+            ]
+        else:
+            xh = SharedArray.from_array(X)
+            worker = _proc_chunk_knn
+            tasks = [
+                (qh, xh, lo, hi, metric, k, tile_cols)
+                for lo, hi in row_chunks(Q.shape[0], row_chunk)
+            ]
         if executor is not None:
-            parts = executor.map(_proc_chunk_knn, tasks)
+            parts = executor.map(worker, tasks)
         else:
             with get_executor("processes", n_workers) as ex:
-                parts = ex.map(_proc_chunk_knn, tasks)
+                parts = ex.map(worker, tasks)
     finally:
         qh.unlink()
-        xh.unlink()
+        if xh is not None:
+            xh.unlink()
     parts.sort(key=lambda t: t[0])
     dist = np.concatenate([p[1] for p in parts], axis=0)
     idx = np.concatenate([p[2] for p in parts], axis=0)

@@ -18,7 +18,7 @@ from collections.abc import Sequence
 
 import heapq
 
-__all__ = ["static_assign", "lpt_assign", "makespan"]
+__all__ = ["static_assign", "lpt_assign", "makespan", "plan_row_chunks"]
 
 
 def static_assign(n_tasks: int, n_workers: int) -> list[list[int]]:
@@ -55,3 +55,47 @@ def makespan(assignment: list[list[int]], costs: Sequence[float]) -> float:
     if not assignment:
         return 0.0
     return max(sum(float(costs[i]) for i in tasks) for tasks in assignment)
+
+
+def plan_row_chunks(
+    m: int,
+    n_workers: int,
+    *,
+    grain: int = 512,
+    oversubscribe: int = 4,
+    min_chunk: int = 32,
+) -> list[tuple[int, int]]:
+    """Row-chunk schedule for mapping ``m`` query rows over ``n_workers``.
+
+    The thread-backend ``bf_knn`` used to cut a fixed 512-row chunk
+    regardless of the pool width; this chooses between the two classic
+    policies above by rows-per-worker:
+
+    * **static** (``schedule(static)``): when each worker's share is at
+      most ``grain`` rows, one contiguous chunk per worker — minimal
+      dispatch overhead, and the near-equal split keeps imbalance at one
+      row;
+    * **dynamic**: for larger inputs, ``oversubscribe`` chunks per worker
+      so the pool load-balances uneven progress, with chunks clamped to
+      ``[min_chunk, grain]`` so they stay worth dispatching but never
+      starve the tail.
+
+    Chunks partition ``range(m)`` contiguously in order, so results
+    concatenate positionally exactly like ``row_chunks`` output.
+    """
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    if m <= 0:
+        return []
+    if n_workers == 1 or m <= min_chunk:
+        return [(0, m)]
+    per_worker = -(-m // n_workers)  # ceil
+    if per_worker <= grain:
+        return [
+            (tasks[0], tasks[-1] + 1)
+            for tasks in static_assign(m, n_workers)
+            if tasks
+        ]
+    chunk = -(-m // (oversubscribe * n_workers))
+    chunk = max(min_chunk, min(grain, chunk))
+    return [(lo, min(lo + chunk, m)) for lo in range(0, m, chunk)]

@@ -10,14 +10,22 @@ working unchanged.
 """
 
 from .context import ExecContext, Observation, TimingRecorder, resolve_ctx
-from .report import PhaseReport, RunReport, collect_report
+from .report import (
+    LatencyStats,
+    PhaseReport,
+    RunReport,
+    StreamReport,
+    collect_report,
+)
 
 __all__ = [
     "ExecContext",
     "Observation",
     "TimingRecorder",
     "resolve_ctx",
+    "LatencyStats",
     "PhaseReport",
     "RunReport",
+    "StreamReport",
     "collect_report",
 ]

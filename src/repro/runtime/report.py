@@ -28,7 +28,13 @@ from ..metrics.engine import CacheCounter
 from ..simulator.machine import MachineSpec, SimResult, simulate
 from .context import ExecContext, Observation
 
-__all__ = ["PhaseReport", "RunReport", "collect_report"]
+__all__ = [
+    "PhaseReport",
+    "RunReport",
+    "LatencyStats",
+    "StreamReport",
+    "collect_report",
+]
 
 
 @dataclass
@@ -145,6 +151,91 @@ class RunReport:
             "rule_counts": dict(self.rule_counts),
             "sims": {name: sim.time_s for name, sim in self.sims.items()},
         }
+
+
+@dataclass
+class LatencyStats:
+    """Distribution summary of a latency sample (seconds)."""
+
+    n: int = 0
+    mean_s: float = 0.0
+    p50_s: float = 0.0
+    p95_s: float = 0.0
+    p99_s: float = 0.0
+    max_s: float = 0.0
+
+    @classmethod
+    def from_samples(cls, samples) -> "LatencyStats":
+        s = np.asarray(samples, dtype=np.float64)
+        if s.size == 0:
+            return cls()
+        return cls(
+            n=int(s.size),
+            mean_s=float(s.mean()),
+            p50_s=float(np.percentile(s, 50)),
+            p95_s=float(np.percentile(s, 95)),
+            p99_s=float(np.percentile(s, 99)),
+            max_s=float(s.max()),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "n": self.n,
+            "mean_s": self.mean_s,
+            "p50_s": self.p50_s,
+            "p95_s": self.p95_s,
+            "p99_s": self.p99_s,
+            "max_s": self.max_s,
+        }
+
+
+@dataclass
+class StreamReport(RunReport):
+    """A :class:`RunReport` extended with streaming-serving observables.
+
+    ``latency`` is the per-query *sojourn* time — arrival to answer,
+    including the time a query waits in the micro-batcher — and ``wait``
+    is the queueing component alone.  ``throughput_qps`` is completed
+    queries over the stream's makespan.
+    """
+
+    n_queries: int = 0
+    throughput_qps: float = 0.0
+    n_batches: int = 0
+    mean_batch: float = 0.0
+    max_batch: int = 0
+    deadline_flushes: int = 0
+    latency: LatencyStats = field(default_factory=LatencyStats)
+    wait: LatencyStats = field(default_factory=LatencyStats)
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.name}: {self.n_queries} queries, "
+            f"{self.throughput_qps:.1f} q/s over {self.wall_s * 1e3:.2f} ms",
+            f"  latency: p50 {self.latency.p50_s * 1e3:.3f} ms, "
+            f"p95 {self.latency.p95_s * 1e3:.3f} ms, "
+            f"p99 {self.latency.p99_s * 1e3:.3f} ms, "
+            f"max {self.latency.max_s * 1e3:.3f} ms",
+            f"  batches: {self.n_batches} "
+            f"(mean {self.mean_batch:.1f}, max {self.max_batch}, "
+            f"{self.deadline_flushes} deadline flushes)",
+        ]
+        base = RunReport.summary(self)
+        return "\n".join(lines + base.splitlines()[1:])
+
+    def to_dict(self) -> dict:
+        d = RunReport.to_dict(self)
+        d.update(
+            n_queries=self.n_queries,
+            throughput_qps=self.throughput_qps,
+            n_batches=self.n_batches,
+            mean_batch=self.mean_batch,
+            max_batch=self.max_batch,
+            deadline_flushes=self.deadline_flushes,
+            latency=self.latency.to_dict(),
+            wait=self.wait.to_dict(),
+        )
+        return d
 
 
 def collect_report(

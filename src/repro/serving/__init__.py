@@ -1,0 +1,24 @@
+"""Streaming query serving: persistent executors, dataset residency,
+adaptive micro-batching (see docs/serving.md).
+
+The paper benchmarks one big batch of queries; a deployed nearest-neighbor
+service sees them one at a time.  This package closes that gap without
+giving up the paper's batched-kernel economics: a
+:class:`~repro.serving.searcher.StreamingSearcher` keeps executors and
+prepared operands resident across calls, groups arrivals into
+latency-budgeted micro-batches via the measurement-driven
+:class:`~repro.serving.batcher.QueryBatcher`, and reports per-query
+latency percentiles and throughput as a
+:class:`~repro.runtime.report.StreamReport`.
+"""
+
+from .batcher import BatchPolicy, QueryBatcher
+from .residency import DatasetResidency
+from .searcher import StreamingSearcher
+
+__all__ = [
+    "BatchPolicy",
+    "QueryBatcher",
+    "DatasetResidency",
+    "StreamingSearcher",
+]

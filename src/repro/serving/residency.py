@@ -1,0 +1,82 @@
+"""Dataset residency for a serving session.
+
+A query stream hits the same index thousands of times, so anything the
+index derives from its (fixed) database must be paid once per index epoch,
+not once per call:
+
+* **in-process** (serial / thread backends): the prepared-operand engine
+  already caches norms and the packed candidate matrix; ``warm()`` simply
+  fills those caches up front so the first query's latency does not carry
+  the one-time preparation.
+* **process backend**: workers cannot share the parent's caches, so the
+  prepared operands live in POSIX shared memory via the process-wide
+  :data:`~repro.parallel.pool.operand_store`.  Registration is keyed on
+  array identity; this module *pins* the canonical operand arrays for the
+  lifetime of the serving session (a strong reference, so the store entry
+  can never be reclaimed mid-stream) and releases — unlinks — the shared
+  segments deterministically on ``close()``.
+
+Without the explicit release, cleanup would ride on garbage collection of
+the dataset, which is exactly the kind of nondeterminism that leaks
+``/dev/shm`` segments from long-lived servers.  The leak regression tests
+assert that ``close()`` (and ``close()`` via ``__exit__`` after a
+mid-stream exception) leaves no segment behind.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..metrics.base import VectorMetric
+from ..parallel.bruteforce import _as_shared_f64, register_resident_operands
+from ..parallel.pool import operand_store
+from ..runtime.context import ExecContext
+
+__all__ = ["DatasetResidency"]
+
+
+class DatasetResidency:
+    """Pins one index's datasets for the duration of a serving session.
+
+    For a process-backend context this registers the database and the
+    representative block in the shared-memory operand store (so every
+    query call ships handles, not arrays) and holds the canonical operand
+    arrays alive; :meth:`release` unlinks the segments.  For in-process
+    backends it is a no-op beyond ``index.warm()`` — which the caller
+    (:class:`~repro.serving.searcher.StreamingSearcher`) performs — since
+    residency there is the operand cache itself.
+    """
+
+    def __init__(self, index, ctx: ExecContext) -> None:
+        self.index = index
+        #: canonical operand arrays held alive while the session serves
+        self._pins: list[np.ndarray] = []
+        if not ctx.uses_processes or not isinstance(index.metric, VectorMetric):
+            return
+        version = int(getattr(index, "_version", 0))
+        for arr in (getattr(index, "X", None), getattr(index, "rep_data", None)):
+            if not isinstance(arr, np.ndarray):
+                continue
+            canonical = _as_shared_f64(arr)
+            register_resident_operands(index.metric, canonical, version=version)
+            self._pins.append(canonical)
+
+    @property
+    def active(self) -> bool:
+        return bool(self._pins)
+
+    def segment_names(self) -> list[str]:
+        """Names of the shared segments currently pinned (for leak tests)."""
+        names: list[str] = []
+        for arr in self._pins:
+            names.extend(operand_store.segments_for(arr))
+        return names
+
+    def release(self) -> int:
+        """Unlink every pinned segment; idempotent.  Returns the number of
+        store entries released."""
+        released = 0
+        for arr in self._pins:
+            released += operand_store.release_for(arr)
+        self._pins.clear()
+        return released

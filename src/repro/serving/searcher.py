@@ -1,0 +1,323 @@
+"""The streaming query front-end: residency + micro-batching + metrics.
+
+:class:`StreamingSearcher` turns an index's batch ``query()`` into a
+query *server*: arrivals are enqueued, the adaptive
+:class:`~repro.serving.batcher.QueryBatcher` groups them into
+latency-budgeted micro-batches, each batch runs one ``query()`` call on a
+registry-resident executor against residency-pinned operands, and answers
+fan back out per query.
+
+**Determinism.**  Per-query and batched dispatch must return the *same
+answer* — a correctness property, not a best effort.  The candidate ids an
+index returns are batching-invariant, but raw float64 GEMM distances are
+not bit-identical between a 1-row and an m-row kernel call (different BLAS
+reduction orders, ~1 ulp).  The searcher therefore re-scores every
+returned candidate with the metric's *paired* kernel
+(:func:`~repro.metrics.engine.rescore_pairs`), whose per-pair reduction
+does not depend on how rows are batched — so a ``max_batch=1`` server and
+a ``max_batch=256`` server produce bit-identical distances, and the
+regression tests compare them with ``==``.  The pruning-rule counters are
+likewise batching-invariant (summed over micro-batches).
+
+**Measurement.**  :meth:`search_stream` replays an arrival trace on a
+*virtual clock*: arrivals and flush deadlines advance simulated time,
+while each dispatched batch contributes its real measured service wall
+time.  Nothing sleeps, so a 10-second trace replays in the time the
+kernels actually take, and the recorded per-query sojourn latencies
+(arrival to answer, queueing included) are reproducible modulo kernel
+timing noise.  The result is a :class:`~repro.runtime.report.StreamReport`
+— the standard :class:`~repro.runtime.report.RunReport` observables plus
+throughput, batch shape, and latency percentiles.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+import numpy as np
+
+from ..metrics.base import VectorMetric
+from ..metrics.engine import rescore_pairs
+from ..runtime.context import ExecContext, TimingRecorder, resolve_ctx
+from ..runtime.report import LatencyStats, StreamReport, collect_report
+from .batcher import BatchPolicy, QueryBatcher
+from .residency import DatasetResidency
+
+__all__ = ["StreamingSearcher"]
+
+
+class StreamingSearcher:
+    """A persistent serving session over one built index.
+
+    Parameters
+    ----------
+    index:
+        any built index exposing ``query(Q, k, ctx=...)`` (the RBC
+        structures and the baselines all do).
+    k:
+        neighbors returned per query.
+    policy:
+        micro-batching policy; ``BatchPolicy(max_batch=1)`` is the
+        per-query dispatch baseline.
+    ctx:
+        execution context for the dispatched queries (executor backend,
+        dtype, ...).  String executor specs resolve to registry-resident
+        pools, so workers persist across micro-batches.
+    rescore:
+        re-score returned candidates with the batching-invariant paired
+        kernel (see module docstring).  Leave on; turning it off trades
+        the bit-identity guarantee for skipping one ``(m, k)`` paired
+        pass.
+    query_kwargs:
+        extra keyword arguments forwarded to every ``index.query`` call
+        (e.g. ``n_probes=2``).
+
+    Use as a context manager (or call :meth:`close`) so the residency
+    pins are released deterministically::
+
+        with StreamingSearcher(index, k=3) as server:
+            report = server.search_stream(Q, qps=2000.0)
+    """
+
+    def __init__(
+        self,
+        index,
+        *,
+        k: int = 1,
+        policy: BatchPolicy | None = None,
+        ctx: ExecContext | None = None,
+        rescore: bool = True,
+        **query_kwargs,
+    ) -> None:
+        getattr(index, "_require_built", lambda: None)()
+        self.index = index
+        self.k = int(k)
+        self.policy = policy or BatchPolicy()
+        base = getattr(index, "_base_ctx", ExecContext)()
+        self.ctx = resolve_ctx(ctx).overriding(base)
+        self.query_kwargs = dict(query_kwargs)
+        self.batcher = QueryBatcher(self.policy)
+        self.rescore = bool(rescore) and self._can_rescore(index)
+        self._closed = False
+        #: ticket -> (dist_row, idx_row) for answered, un-collected queries
+        self._done: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._next_ticket = 0
+        #: pruning-rule counters summed over every dispatched micro-batch
+        self.rule_counts: dict[str, int] = {}
+        # residency: fill the in-process prepared caches up front, and pin
+        # shared-memory operands for the process backend
+        warm = getattr(index, "warm", None)
+        if warm is not None and not self.ctx.uses_processes:
+            warm(self.ctx)
+        self.residency = DatasetResidency(index, self.ctx)
+
+    @staticmethod
+    def _can_rescore(index) -> bool:
+        return isinstance(getattr(index, "metric", None), VectorMetric) and (
+            isinstance(getattr(index, "X", None), np.ndarray)
+        )
+
+    # ------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Flush nothing, release the residency pins; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self.residency.release()
+
+    def __enter__(self) -> "StreamingSearcher":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("StreamingSearcher is closed")
+
+    # -------------------------------------------------------------- dispatch
+    def _dispatch(self, Qb: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """One micro-batch through the index, re-scored to batching
+        invariance, with the rule counters accumulated."""
+        dist, idx = self.index.query(
+            Qb, self.k, ctx=self.ctx, **self.query_kwargs
+        )
+        if self.rescore:
+            d = rescore_pairs(self.index.metric, Qb, self.index.X, idx)
+            order = np.argsort(d, axis=1, kind="stable")
+            dist = np.take_along_axis(d, order, axis=1)
+            idx = np.take_along_axis(idx, order, axis=1)
+            idx = np.where(np.isfinite(dist), idx, -1)
+        stats = getattr(self.index, "last_stats", None)
+        if stats is not None:
+            for key, val in stats.rule_counts().items():
+                self.rule_counts[key] = self.rule_counts.get(key, 0) + int(val)
+        return dist, idx
+
+    def _flush(self, now: float) -> tuple[int, float]:
+        """Dispatch the batch due at ``now``; answers land in ``_done``.
+
+        Returns ``(batch_size, service_s)`` with the *measured* service
+        wall time (also fed to the batcher's controller).
+        """
+        items = self.batcher.take(now)
+        if not items:
+            return 0, 0.0
+        tickets = [t for (t, _q), _arr in items]
+        Qb = np.stack([q for (_t, q), _arr in items])
+        t0 = time.perf_counter()
+        dist, idx = self._dispatch(Qb)
+        service = time.perf_counter() - t0
+        self.batcher.observe(len(items), service)
+        for row, ticket in enumerate(tickets):
+            self._done[ticket] = (dist[row], idx[row])
+        return len(items), service
+
+    # ------------------------------------------------------------- live API
+    def submit(self, q, *, now: float | None = None) -> int:
+        """Enqueue one query; returns its ticket.  Dispatches inline when
+        the batcher's target fills or the latency budget demands it."""
+        self._require_open()
+        row = np.asarray(q, dtype=np.float64)
+        if row.ndim == 2 and row.shape[0] == 1:
+            row = row[0]
+        if row.ndim != 1:
+            raise ValueError("submit() takes one query vector at a time")
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        now = time.perf_counter() if now is None else float(now)
+        self.batcher.add((ticket, row), now)
+        if self.batcher.ready(now):
+            self._flush(now)
+        return ticket
+
+    def poll(self, ticket: int):
+        """The answered ``(dist, idx)`` rows for ``ticket``, or ``None``
+        while it is still queued."""
+        return self._done.pop(ticket, None)
+
+    def drain(self) -> dict[int, tuple[np.ndarray, np.ndarray]]:
+        """Flush everything queued; returns (and forgets) all answers
+        collected since the last drain, keyed by ticket."""
+        self._require_open()
+        while self.batcher.pending:
+            self._flush(time.perf_counter())
+        out = self._done
+        self._done = {}
+        return out
+
+    # ------------------------------------------------------- trace replay
+    def search_stream(
+        self,
+        Q,
+        *,
+        qps: float | None = None,
+        arrival_times=None,
+        name: str | None = None,
+        trace_ops: bool = False,
+    ) -> StreamReport:
+        """Replay an arrival trace through the server on a virtual clock.
+
+        ``arrival_times`` gives each query's arrival second explicitly
+        (any nondecreasing trace — bursty, lulls, ...); ``qps`` is the
+        uniform-rate shorthand ``i / qps``.  Exactly one must be given.
+        Batches dispatch when the adaptive target fills or a query's
+        latency budget runs out, service time is the real measured wall
+        time of each ``query()`` call, and simulated time advances by it —
+        so queueing behind a slow kernel is captured without any sleeping.
+
+        Returns a :class:`~repro.runtime.report.StreamReport` whose
+        ``dist``/``idx`` are in arrival order (identical to per-query
+        answers), with sojourn/wait percentiles, throughput over the
+        stream makespan, batch-shape counters, and the usual counter
+        windows.
+        """
+        self._require_open()
+        Qb = np.atleast_2d(np.asarray(Q, dtype=np.float64))
+        m = Qb.shape[0]
+        if (qps is None) == (arrival_times is None):
+            raise ValueError("give exactly one of qps or arrival_times")
+        if arrival_times is None:
+            if qps <= 0:
+                raise ValueError("qps must be positive")
+            arrivals = np.arange(m, dtype=np.float64) / float(qps)
+        else:
+            arrivals = np.asarray(arrival_times, dtype=np.float64)
+            if arrivals.shape != (m,):
+                raise ValueError("need one arrival time per query")
+            if np.any(np.diff(arrivals) < 0):
+                raise ValueError("arrival times must be nondecreasing")
+
+        batcher = QueryBatcher(self.policy)  # fresh controller per stream
+        recorder = TimingRecorder(trace_ops=trace_ops)
+        run_ctx = self.ctx.with_recorder(recorder)
+        old_ctx, old_batcher = self.ctx, self.batcher
+        self.ctx, self.batcher = run_ctx, batcher
+
+        dist = np.full((m, self.k), np.inf)
+        idx = np.full((m, self.k), -1, dtype=np.int64)
+        sojourn = np.zeros(m)
+        wait = np.zeros(m)
+        served = deque()
+        t0_counts = dict(self.rule_counts)
+        self.rule_counts = {}
+
+        try:
+            with run_ctx.observe(self.index.metric) as obs:
+                free_at = 0.0  # virtual time the executor is next free
+                j = 0
+                while j < m or batcher.pending:
+                    next_arr = arrivals[j] if j < m else np.inf
+                    deadline = batcher.next_deadline()
+                    flush_at = max(
+                        free_at,
+                        np.inf if deadline is None else deadline,
+                    )
+                    if next_arr <= flush_at:
+                        batcher.add((j, Qb[j]), now=next_arr)
+                        j += 1
+                        now = max(free_at, next_arr)
+                    else:
+                        now = flush_at
+                    if batcher.ready(now, more_coming=(j < m)):
+                        items = batcher.take(now)
+                        rows = [payload[0] for payload, _arr in items]
+                        t0 = time.perf_counter()
+                        bd, bi = self._dispatch(Qb[rows])
+                        service = time.perf_counter() - t0
+                        batcher.observe(len(items), service)
+                        done_t = now + service
+                        dist[rows], idx[rows] = bd, bi
+                        for (_row, _q), arr in items:
+                            wait[_row] = now - arr
+                            sojourn[_row] = done_t - arr
+                        served.append(done_t)
+                        free_at = done_t
+                makespan = max(float(served[-1]) if served else 0.0, 1e-12)
+        finally:
+            stream_counts = self.rule_counts
+            self.ctx, self.batcher = old_ctx, old_batcher
+            self.rule_counts = t0_counts
+
+        report = collect_report(
+            name or f"{type(self.index).__name__}:stream",
+            run_ctx,
+            obs,
+            dist=dist,
+            idx=idx,
+            stats=None,
+        )
+        stream = StreamReport(
+            **vars(report),
+            n_queries=m,
+            throughput_qps=m / makespan,
+            n_batches=batcher.n_batches,
+            mean_batch=batcher.n_items / max(batcher.n_batches, 1),
+            max_batch=batcher.max_batch_seen,
+            deadline_flushes=batcher.n_deadline_flushes,
+            latency=LatencyStats.from_samples(sojourn),
+            wait=LatencyStats.from_samples(wait),
+        )
+        stream.rule_counts = stream_counts
+        return stream

@@ -248,3 +248,16 @@ def test_exhaustive_small_case():
     d, i = bf_knn(Q, X, k=4)
     np.testing.assert_array_equal(i, [[1, 2, 0, 3]])
     np.testing.assert_allclose(d, [[0.2, 0.8, 1.2, 1.8]])
+
+
+def test_thread_backend_scheduler_chunks_match_serial(rng):
+    """The scheduler-planned thread chunking is invisible in the results."""
+    from repro.runtime import ExecContext
+
+    X = rng.normal(size=(700, 9))
+    Q = rng.normal(size=(150, 9))
+    ds, is_ = bf_knn(Q, X, k=4)
+    # no row_chunk override: the thread path plans via plan_row_chunks
+    dt, it = bf_knn(Q, X, k=4, ctx=ExecContext(executor="threads", n_workers=3))
+    np.testing.assert_array_equal(is_, it)
+    np.testing.assert_allclose(ds, dt)

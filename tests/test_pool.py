@@ -93,3 +93,139 @@ def test_shared_array_visible_across_processes(rng):
         np.testing.assert_allclose(sums, arr.sum(axis=1))
     finally:
         handle.unlink()
+
+
+# ------------------------------------------------- executor registry residency
+
+
+def _getpid(_):
+    import os
+
+    return os.getpid()
+
+
+def test_executor_pool_reuses_and_recreates():
+    from repro.parallel import ExecutorPool
+
+    pool = ExecutorPool()
+    try:
+        a = pool.get("threads", 2)
+        assert pool.get("threads", 2) is a  # identical spec -> same pool
+        assert pool.n_created == 1 and len(pool) == 1
+        b = pool.get("threads", 3)
+        assert b is not a  # different worker count -> different pool
+        assert pool.n_created == 2
+        a.shutdown()  # a resident pool killed out-of-band ...
+        c = pool.get("threads", 2)
+        assert c is not a  # ... is detected and replaced
+        assert c.map(_square, [3]) == [9]
+    finally:
+        pool.shutdown()
+    assert len(pool) == 0
+    d = pool.get("threads", 2)  # usable again after shutdown
+    try:
+        assert d.map(_square, [4]) == [16]
+    finally:
+        pool.shutdown()
+
+
+def test_executor_pool_rejects_serial_spec():
+    from repro.parallel import ExecutorPool
+
+    with pytest.raises(ValueError):
+        ExecutorPool().get("serial", 1)
+
+
+def test_resident_pool_close_is_noop():
+    from repro.parallel import ExecutorPool
+
+    pool = ExecutorPool()
+    try:
+        ex = pool.get("threads", 2)
+        ex.close()  # callers' scope-exit close must not kill a resident pool
+        assert ex.map(_square, [5]) == [25]
+    finally:
+        pool.shutdown()
+
+
+def test_bf_knn_process_workers_persist_across_calls(rng):
+    """Back-to-back process-backend calls reuse the same worker PIDs."""
+    from repro.parallel import bf_knn, executor_pool
+    from repro.runtime import ExecContext
+
+    X = rng.normal(size=(300, 8))
+    Q = rng.normal(size=(16, 8))
+    ctx = ExecContext(executor="processes", n_workers=2)
+    resident = executor_pool.get("processes", 2)
+    assert set(resident.map(_getpid, range(8)))  # force worker spawn
+    pids_before = set(resident._pool._processes)
+    created = executor_pool.n_created
+
+    d1, i1 = bf_knn(Q, X, k=2, ctx=ctx)
+    d2, i2 = bf_knn(Q, X, k=2, ctx=ctx)
+
+    assert executor_pool.n_created == created  # both calls reused the pool
+    assert executor_pool.get("processes", 2) is resident
+    # the very same worker processes served both calls: none were
+    # respawned, and an idle resident worker means none were added
+    assert set(resident._pool._processes) == pids_before
+    np.testing.assert_array_equal(i1, i2)
+    np.testing.assert_array_equal(d1, d2)
+
+
+# ------------------------------------------------------ resident operand store
+
+
+def test_operand_store_registers_once_and_releases(rng):
+    from repro.parallel import operand_store, register_resident_operands
+
+    X = np.ascontiguousarray(rng.normal(size=(60, 5)))
+    h1 = register_resident_operands("euclidean", X)
+    registered = operand_store.n_registered
+    h2 = register_resident_operands("euclidean", X)
+    assert h2 is h1  # second call is a pure hit
+    assert operand_store.n_registered == registered
+    names = operand_store.segments_for(X)
+    assert len(names) == len(h1)
+    assert operand_store.release_for(X) == 1
+    assert operand_store.segments_for(X) == []
+    from multiprocessing import shared_memory
+
+    for name in names:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+def test_operand_store_version_bump_reregisters(rng):
+    from repro.parallel import operand_store, register_resident_operands
+
+    X = np.ascontiguousarray(rng.normal(size=(40, 4)))
+    register_resident_operands("euclidean", X, version=0)
+    old_names = operand_store.segments_for(X)
+    register_resident_operands("euclidean", X, version=1)
+    new_names = operand_store.segments_for(X)
+    assert set(old_names).isdisjoint(new_names)
+    from multiprocessing import shared_memory
+
+    for name in old_names:  # the stale epoch's segments were unlinked
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+    operand_store.release_for(X)
+
+
+def test_operand_store_unlinks_when_dataset_dies(rng):
+    import gc
+
+    from repro.parallel import operand_store, register_resident_operands
+
+    X = np.ascontiguousarray(rng.normal(size=(30, 3)))
+    register_resident_operands("euclidean", X)
+    names = operand_store.segments_for(X)
+    assert names
+    del X
+    gc.collect()
+    from multiprocessing import shared_memory
+
+    for name in names:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)

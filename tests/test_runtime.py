@@ -39,13 +39,15 @@ def _trace_key(recorder: TraceRecorder) -> Counter:
 # ---------------------------------------------------------------- executor scope
 
 
-def test_executor_scope_closes_owned_pool():
+def test_executor_scope_spec_pool_is_registry_resident():
     with executor_scope("threads", 2) as exec_:
         assert isinstance(exec_, ThreadExecutor)
         inner = exec_
-    # the scope created the pool from a spec, so it must have closed it
-    with pytest.raises(RuntimeError):
-        inner.map(lambda x: x, [1])
+    # spec-resolved pools belong to the process-wide registry: they
+    # survive the scope, and the next identical spec reuses the same one
+    assert inner.map(lambda x: x, [1]) == [1]
+    with executor_scope("threads", 2) as again:
+        assert again is inner
 
 
 def test_executor_scope_leaves_caller_pool_open():
@@ -59,14 +61,14 @@ def test_executor_scope_leaves_caller_pool_open():
         pool.close()
 
 
-def test_executor_scope_closes_on_error():
+def test_executor_scope_pool_survives_error():
     captured = []
     with pytest.raises(ValueError, match="boom"):
         with executor_scope("threads", 2) as exec_:
             captured.append(exec_)
             raise ValueError("boom")
-    with pytest.raises(RuntimeError):
-        captured[0].map(lambda x: x, [1])
+    # an exception inside the scope must not poison the resident pool
+    assert captured[0].map(lambda x: x, [1]) == [1]
 
 
 def test_ctx_executor_scope_inline_processes_degrade():

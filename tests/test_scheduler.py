@@ -68,3 +68,56 @@ def test_property_lpt_partition_and_bound(costs, w):
     lower = max(sum(costs) / w, max(costs))
     assert ms >= lower - 1e-9
     assert ms <= lower * (4.0 / 3.0) + max(costs) + 1e-9
+
+
+# ------------------------------------------------------------ row-chunk plans
+
+
+def _covers_rows(chunks, m):
+    covered = []
+    for lo, hi in chunks:
+        assert 0 <= lo < hi <= m
+        covered.extend(range(lo, hi))
+    return covered == list(range(m))
+
+
+def test_plan_row_chunks_static_regime():
+    from repro.parallel import plan_row_chunks
+
+    # light load: one contiguous chunk per worker, no oversubscription
+    chunks = plan_row_chunks(1000, 4, grain=512)
+    assert _covers_rows(chunks, 1000)
+    assert len(chunks) == 4
+
+
+def test_plan_row_chunks_dynamic_regime():
+    from repro.parallel import plan_row_chunks
+
+    # heavy load: oversubscribed chunks for dynamic balancing
+    chunks = plan_row_chunks(100_000, 4, grain=512)
+    assert _covers_rows(chunks, 100_000)
+    assert len(chunks) > 4
+    sizes = {hi - lo for lo, hi in chunks}
+    assert all(32 <= s <= 512 for s in sizes)
+
+
+def test_plan_row_chunks_small_inputs():
+    from repro.parallel import plan_row_chunks
+
+    assert plan_row_chunks(0, 4) == []
+    assert plan_row_chunks(10, 1) == [(0, 10)]
+    assert plan_row_chunks(20, 8, min_chunk=32) == [(0, 20)]
+    with pytest.raises(ValueError):
+        plan_row_chunks(10, 0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    m=st.integers(min_value=0, max_value=50_000),
+    w=st.integers(min_value=1, max_value=16),
+)
+def test_property_plan_row_chunks_partitions(m, w):
+    from repro.parallel import plan_row_chunks
+
+    chunks = plan_row_chunks(m, w)
+    assert _covers_rows(chunks, m)
