@@ -1,0 +1,178 @@
+"""CI bench-regression gate: fresh BENCH json vs the committed baseline.
+
+The smoke benchmarks rewrite ``BENCH_kernels.json`` / ``BENCH_serving.json``
+at the repo root on every run.  CI snapshots the committed copies before
+the benchmark steps, reruns them, and then invokes::
+
+    python benchmarks/check_regression.py \
+        --baseline baseline/BENCH_kernels.json --fresh BENCH_kernels.json \
+        --baseline baseline/BENCH_serving.json --fresh BENCH_serving.json
+
+Each tracked metric is a throughput-like ratio (higher is better); the
+gate fails (exit 1) when a fresh value falls below ``1 - tolerance`` of
+its baseline — by default a >25% regression, loose enough for shared-
+runner noise but tight enough to catch a kernel walking backwards.
+Metrics present in the baseline but missing fresh fail too (a deleted
+benchmark silently dropping perf coverage); metrics only in the fresh
+file are reported and skipped, so new benchmarks can land one PR before
+their baseline does.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: metric name -> dotted path into the BENCH payload; ``[]`` fans out over
+#: a list, labeling each element by the named config key beside it
+TRACKED = {
+    "BENCH_kernels.json": {
+        "exact engine speedup": "kernel_engine.exact.speedup",
+        "oneshot engine speedup": "kernel_engine.oneshot.speedup",
+        "stage2 wall speedup (dim={dim})": "stage2_batched.cases[].wall_x",
+    },
+    "BENCH_serving.json": {
+        "serving batched speedup": "speedup",
+        "serving batched throughput qps": "batched.throughput_qps",
+    },
+}
+
+
+def _walk(payload, dotted: str):
+    """Yield (label_suffix, value) for a dotted path, fanning out lists."""
+    head, _, rest = dotted.partition(".")
+    if head.endswith("[]"):
+        seq = payload.get(head[:-2])
+        if seq is None:
+            return
+        for elem in seq:
+            yield from _walk(elem, rest)
+        return
+    node = payload.get(head)
+    if node is None:
+        return
+    if rest:
+        yield from _walk(node, rest)
+    else:
+        yield payload, node
+
+
+def _schema_for(*paths: Path) -> dict[str, str]:
+    """The tracked-metric schema matching any of the given filenames."""
+    for name, schema in TRACKED.items():
+        if any(p.name.endswith(name) for p in paths):
+            return schema
+    raise SystemExit(
+        f"no tracked metrics for {', '.join(p.name for p in paths)}; "
+        f"known files: {', '.join(TRACKED)}"
+    )
+
+
+def extract(path: Path, tracked: dict[str, str]) -> dict[str, float]:
+    """Flatten one BENCH file into ``{metric label: value}``."""
+    payload = json.loads(path.read_text())
+    out: dict[str, float] = {}
+    for label, dotted in tracked.items():
+        for holder, value in _walk(payload, dotted):
+            name = label
+            if "{" in label:
+                name = label.format(**{k: holder.get(k) for k in ("dim",)})
+            out[name] = float(value)
+    return out
+
+
+def compare(
+    baseline: dict[str, float],
+    fresh: dict[str, float],
+    *,
+    tolerance: float,
+) -> tuple[list[str], list[str]]:
+    """Return (report lines, failure lines)."""
+    lines, failures = [], []
+    width = max((len(n) for n in baseline | fresh), default=0)
+    for name in sorted(baseline):
+        base = baseline[name]
+        if name not in fresh:
+            failures.append(f"{name}: present in baseline, missing fresh")
+            lines.append(f"  {name:<{width}}  {base:10.3f}  ->    MISSING")
+            continue
+        new = fresh[name]
+        ratio = new / base if base else float("inf")
+        ok = ratio >= 1.0 - tolerance
+        mark = "ok" if ok else "REGRESSION"
+        lines.append(
+            f"  {name:<{width}}  {base:10.3f}  ->  {new:10.3f}  "
+            f"({ratio:6.2%})  {mark}"
+        )
+        if not ok:
+            failures.append(
+                f"{name}: {base:.3f} -> {new:.3f} "
+                f"({ratio:.1%} of baseline, floor {1 - tolerance:.0%})"
+            )
+    for name in sorted(set(fresh) - set(baseline)):
+        lines.append(
+            f"  {name:<{width}}  {'(new)':>10}  ->  {fresh[name]:10.3f}  "
+            f"        no baseline, skipped"
+        )
+    return lines, failures
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--baseline",
+        action="append",
+        required=True,
+        type=Path,
+        help="committed BENCH json (repeatable, pairs with --fresh in order)",
+    )
+    ap.add_argument(
+        "--fresh",
+        action="append",
+        required=True,
+        type=Path,
+        help="just-regenerated BENCH json (repeatable)",
+    )
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional drop before failing (default 0.25)",
+    )
+    args = ap.parse_args(argv)
+    if len(args.baseline) != len(args.fresh):
+        ap.error("need one --fresh per --baseline")
+
+    all_failures: list[str] = []
+    for base_path, fresh_path in zip(args.baseline, args.fresh):
+        print(f"{fresh_path.name}: {base_path} vs {fresh_path}")
+        if not base_path.exists():
+            print("  no baseline file; skipping (first run?)")
+            continue
+        if not fresh_path.exists():
+            all_failures.append(f"{fresh_path}: fresh results missing")
+            print("  FRESH FILE MISSING")
+            continue
+        schema = _schema_for(base_path, fresh_path)
+        lines, failures = compare(
+            extract(base_path, schema),
+            extract(fresh_path, schema),
+            tolerance=args.tolerance,
+        )
+        print("\n".join(lines))
+        all_failures.extend(failures)
+
+    if all_failures:
+        print(f"\n{len(all_failures)} regression(s) past the "
+              f"{args.tolerance:.0%} floor:", file=sys.stderr)
+        for f in all_failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nbench-regression gate: all tracked metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

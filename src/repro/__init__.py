@@ -28,6 +28,7 @@ paper-vs-measured record of every table and figure.
 from .baselines import BallTree, BruteForceIndex, CoverTree, KDTree
 from .core import ExactRBC, OneShotRBC, oneshot_params, standard_n_reps
 from .metrics import available_metrics, get_metric
+from .obs import MetricsRegistry, SLOMonitor, Tracer
 from .parallel import bf_knn, bf_nn, bf_range
 from .runtime import ExecContext, RunReport, StreamReport
 from .serving import BatchPolicy, StreamingSearcher
@@ -42,10 +43,13 @@ __all__ = [
     "KDTree",
     "ExactRBC",
     "ExecContext",
+    "MetricsRegistry",
     "OneShotRBC",
     "RunReport",
+    "SLOMonitor",
     "StreamingSearcher",
     "StreamReport",
+    "Tracer",
     "oneshot_params",
     "standard_n_reps",
     "available_metrics",

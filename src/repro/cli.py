@@ -22,6 +22,14 @@ Commands
     Streaming-serving benchmark: replay a query-arrival trace through a
     per-call server and a resident micro-batched server, print latency
     percentiles and throughput, verify the answers are identical.
+    ``--trace`` saves a Chrome-trace JSON of the batched run.
+``report``
+    Pretty-print any saved observability artifact — a ``RunReport`` /
+    ``StreamReport`` / serve-bench JSON, a Chrome-trace file, a span
+    dump, or a metrics-snapshot JSONL.
+``metrics``
+    Run a small instrumented serving stream and print the metrics
+    registry's Prometheus text exposition plus the SLO summary.
 """
 
 from __future__ import annotations
@@ -171,6 +179,7 @@ def _cmd_serve_bench(args) -> int:
 
     from .core import ExactRBC, OneShotRBC
     from .eval import format_table
+    from .obs import SLOMonitor, Tracer
     from .runtime import ExecContext
     from .serving import BatchPolicy, StreamingSearcher
 
@@ -185,13 +194,23 @@ def _cmd_serve_bench(args) -> int:
         index = OneShotRBC(seed=args.seed).build(X)
     ctx = ExecContext(executor=args.backend) if args.backend else None
 
-    def run(max_batch: int, label: str):
+    def run(max_batch: int, label: str, tracer: Tracer | None = None):
         policy = BatchPolicy(max_delay_ms=args.max_delay_ms, max_batch=max_batch)
-        with StreamingSearcher(index, k=args.k, policy=policy, ctx=ctx) as srv:
+        run_ctx = ctx
+        if tracer is not None:
+            run_ctx = (ctx or ExecContext()).with_tracer(tracer)
+        slo = SLOMonitor(args.max_delay_ms / 1e3, window_s=float("inf"))
+        with StreamingSearcher(
+            index, k=args.k, policy=policy, ctx=run_ctx, slo=slo
+        ) as srv:
             return srv.search_stream(Q, qps=args.qps, name=label)
 
+    tracer = Tracer() if args.trace else None
     per_call = run(1, "per-call")
-    batched = run(args.max_batch, "resident+batched")
+    batched = run(args.max_batch, "resident+batched", tracer)
+    if tracer is not None:
+        tracer.save(args.trace)
+        print(f"wrote {args.trace} ({len(tracer)} spans)")
 
     identical = bool(
         np.array_equal(per_call.dist, batched.dist)
@@ -237,6 +256,153 @@ def _cmd_serve_bench(args) -> int:
             json.dump(payload, fh, indent=2)
         print(f"wrote {args.json}")
     return 0 if identical else 1
+
+
+def _print_chrome_trace(payload: dict) -> None:
+    from .eval import format_table
+
+    events = payload.get("traceEvents", [])
+    agg: dict[str, list[float]] = {}
+    pids = set()
+    for ev in events:
+        ent = agg.setdefault(ev.get("name", "?"), [0, 0.0])
+        ent[0] += 1
+        ent[1] += float(ev.get("dur", 0.0))
+        pids.add(ev.get("pid"))
+    span = max((e.get("ts", 0.0) + e.get("dur", 0.0) for e in events), default=0.0)
+    print(
+        f"Chrome trace: {len(events)} events across {len(pids)} process(es), "
+        f"{span / 1e3:.2f} ms timeline"
+    )
+    rows = [
+        [name, n, total / 1e3, total / n / 1e3]
+        for name, (n, total) in sorted(
+            agg.items(), key=lambda kv: -kv[1][1]
+        )
+    ]
+    print(format_table(["span", "count", "total ms", "mean ms"], rows))
+
+
+def _print_span_dump(spans: list) -> None:
+    from .eval import format_table
+
+    agg: dict[str, list[float]] = {}
+    traces = set()
+    for s in spans:
+        ent = agg.setdefault(s.get("name", "?"), [0, 0.0])
+        ent[0] += 1
+        ent[1] += float(s.get("dur_s", 0.0))
+        traces.add(s.get("trace_id"))
+    print(f"Span dump: {len(spans)} spans in {len(traces)} trace(s)")
+    rows = [
+        [name, n, total * 1e3, total / n * 1e3]
+        for name, (n, total) in sorted(agg.items(), key=lambda kv: -kv[1][1])
+    ]
+    print(format_table(["span", "count", "total ms", "mean ms"], rows))
+
+
+def _print_metrics_snapshots(records: list) -> None:
+    last = records[-1]["metrics"]
+    if len(records) > 1:
+        t0, t1 = records[0].get("ts", 0.0), records[-1].get("ts", 0.0)
+        print(
+            f"Metrics: {len(records)} snapshots over {t1 - t0:.3f} s "
+            f"(latest shown)"
+        )
+    for name, entry in sorted(last.items()):
+        values = entry.get("values", {})
+        for labels, val in sorted(values.items()):
+            where = f"{{{labels}}}" if labels else ""
+            if isinstance(val, dict):  # histogram: sum/count
+                n = val.get("count", 0)
+                mean = val.get("sum", 0.0) / n if n else 0.0
+                shown = f"count {n}, mean {mean:.6g}"
+            else:
+                shown = f"{val:g}"
+            print(f"  {name}{where} [{entry.get('kind', '?')}] {shown}")
+
+
+def _print_serve_bench(payload: dict) -> None:
+    from .runtime.report import StreamReport
+
+    print(
+        f"serve-bench: {payload.get('queries', '?')} queries over "
+        f"{payload.get('n', '?')} x {payload.get('dim', '?')} at "
+        f"{payload.get('qps_offered', 0.0):g} q/s offered; "
+        f"speedup {payload.get('speedup', 0.0):.1f}x, "
+        f"identical: {payload.get('identical')}"
+    )
+    for key in ("per_call", "batched"):
+        if key in payload:
+            print("\n" + StreamReport.from_dict(payload[key]).summary())
+
+
+def _cmd_report(args) -> int:
+    import json
+
+    from .runtime.report import RunReport, StreamReport
+
+    with open(args.file) as fh:
+        text = fh.read()
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError:
+        # not one JSON document: try metrics-snapshot JSONL
+        try:
+            records = [
+                json.loads(ln) for ln in text.splitlines() if ln.strip()
+            ]
+        except json.JSONDecodeError:
+            raise SystemExit(f"{args.file}: neither JSON nor JSONL")
+        if not records or not all(
+            isinstance(r, dict) and "metrics" in r for r in records
+        ):
+            raise SystemExit(f"{args.file}: unrecognized JSONL contents")
+        _print_metrics_snapshots(records)
+        return 0
+    if isinstance(payload, dict) and "traceEvents" in payload:
+        _print_chrome_trace(payload)
+    elif isinstance(payload, dict) and "per_call" in payload:
+        _print_serve_bench(payload)
+    elif isinstance(payload, dict) and "metrics" in payload:
+        _print_metrics_snapshots([payload])
+    elif isinstance(payload, dict) and "n_queries" in payload:
+        print(StreamReport.from_dict(payload).summary())
+    elif isinstance(payload, dict) and "wall_s" in payload:
+        print(RunReport.from_dict(payload).summary())
+    elif (
+        isinstance(payload, list)
+        and payload
+        and isinstance(payload[0], dict)
+        and "span_id" in payload[0]
+    ):
+        _print_span_dump(payload)
+    else:
+        raise SystemExit(f"{args.file}: unrecognized report format")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from .core import ExactRBC
+    from .obs import MetricsRegistry, SLOMonitor
+    from .serving import BatchPolicy, StreamingSearcher
+
+    X, Q = _load_data(args.data, args.scale, n_queries=args.queries)
+    if Q is None:
+        rng = np.random.default_rng(args.seed)
+        take = rng.choice(X.shape[0], size=args.queries, replace=False)
+        Q = X[take]
+    index = ExactRBC(seed=args.seed).build(X)
+    reg = MetricsRegistry()
+    slo = SLOMonitor(args.max_delay_ms / 1e3, window_s=float("inf"))
+    policy = BatchPolicy(max_delay_ms=args.max_delay_ms)
+    with StreamingSearcher(
+        index, k=args.k, policy=policy, slo=slo, metrics=reg
+    ) as srv:
+        srv.search_stream(Q, qps=args.qps)
+    sys.stdout.write(reg.expose())
+    print("\n" + slo.summary())
+    return 0
 
 
 def _cmd_knn_graph(args) -> int:
@@ -318,6 +484,31 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--scale", type=float, default=0.05)
     s.add_argument("--seed", type=int, default=0)
     s.add_argument("--json", default=None, help="write the full report here")
+    s.add_argument(
+        "--trace",
+        default=None,
+        help="write a Chrome-trace JSON of the batched run here",
+    )
+
+    r = sub.add_parser(
+        "report", help="pretty-print a saved observability artifact"
+    )
+    r.add_argument(
+        "file",
+        help="RunReport/StreamReport/serve-bench JSON, Chrome trace, "
+        "span dump, or metrics JSONL",
+    )
+
+    mt = sub.add_parser(
+        "metrics", help="instrumented serving demo + Prometheus exposition"
+    )
+    mt.add_argument("data", help="dataset name or .npy path")
+    mt.add_argument("-k", type=int, default=1)
+    mt.add_argument("--queries", type=int, default=256)
+    mt.add_argument("--qps", type=float, default=2000.0)
+    mt.add_argument("--max-delay-ms", type=float, default=100.0)
+    mt.add_argument("--scale", type=float, default=0.05)
+    mt.add_argument("--seed", type=int, default=0)
 
     g = sub.add_parser("knn-graph", help="all-k-NN graph of a dataset")
     g.add_argument("data", help="dataset name or .npy path")
@@ -337,6 +528,8 @@ _HANDLERS = {
     "compare": _cmd_compare,
     "knn-graph": _cmd_knn_graph,
     "serve-bench": _cmd_serve_bench,
+    "report": _cmd_report,
+    "metrics": _cmd_metrics,
 }
 
 

@@ -31,6 +31,7 @@ import numpy as np
 
 from ..core.exact import ExactRBC
 from ..metrics import get_metric
+from ..obs.tracing import NULL_TRACER, SpanContext, Tracer
 from ..parallel.bruteforce import _record_dist_tile
 from ..parallel.reduce import EMPTY_IDX, merge_topk, topk_of_block
 from ..runtime.context import ExecContext, resolve_ctx
@@ -82,6 +83,17 @@ class DistRunReport:
         if not self.node_compute_s or max(self.node_compute_s) == 0:
             return 1.0
         return float(np.mean(self.node_compute_s) / max(self.node_compute_s))
+
+
+def _node_tracer(span_ctx: SpanContext | None) -> Tracer:
+    """Node-side tracer parented under the coordinator's query span.
+
+    The span context is the telemetry part of the coordinator→node
+    message: it rides along with the routed tasks, the node records its
+    scan under it, and the finished spans travel back with the results to
+    be adopted into the coordinator's timeline.
+    """
+    return Tracer(root=span_ctx) if span_ctx is not None else NULL_TRACER
 
 
 def _node_compute_time(node_spec, metric, dim, eval_counts: list[int]) -> float:
@@ -172,7 +184,9 @@ class DistributedRBC:
         """
         if self.index is None:
             raise RuntimeError("call build(X) first")
-        run_rec = resolve_ctx(ctx).recorder
+        rctx = resolve_ctx(ctx)
+        run_rec = rctx.recorder
+        tracer = rctx.tracer
         idx = self.index
         metric = self.metric
         cluster = self.cluster
@@ -181,9 +195,11 @@ class DistributedRBC:
         dim = metric.dim(Qb)
         nr = idx.n_reps
 
+        query_span = tracer.start_span("dist:query", engine="rbc", m=m, k=k)
         # ---- coordinator: BF(Q, R), gamma, pruning (exact-search rules)
         coord_rec = TraceRecorder()
-        with run_rec.phase("coord:stage1"), coord_rec.phase("coord:stage1"):
+        with tracer.span_under(query_span.context, "dist:coord", n_reps=nr), \
+                run_rec.phase("coord:stage1"), coord_rec.phase("coord:stage1"):
             D_R = metric.pairwise(Qb, idx.rep_data)
             _record_dist_tile(coord_rec, metric, m, nr, dim, "coord:stage1")
             if run_rec.enabled:
@@ -231,6 +247,10 @@ class DistributedRBC:
                 messages += 1
 
         # ---- node-local brute force over shipped candidate lists
+        # the query span's context is part of each coordinator→node
+        # message; nodes record their scans under it and ship the finished
+        # spans back with the results
+        span_ctx = query_span.context if tracer.enabled else None
         node_evals = [0] * cluster.n_nodes
         node_results: list[list[tuple[int, np.ndarray, np.ndarray]]] = [
             [] for _ in range(cluster.n_nodes)
@@ -238,22 +258,28 @@ class DistributedRBC:
         node_times = []
         with run_rec.phase("node:scan"):
             for w, tasks in enumerate(per_node_tasks):
+                ntracer = _node_tracer(span_ctx)
                 counts = []
-                for qi, cand in tasks:
-                    D2 = metric.pairwise(
-                        metric.take(Qb, [qi]), metric.take(idx.X, cand)
-                    )
-                    d, li = topk_of_block(D2, k)
-                    gi = np.where(
-                        li[0] >= 0, cand[np.clip(li[0], 0, None)], EMPTY_IDX
-                    )
-                    node_results[w].append((qi, d[0], gi))
-                    node_evals[w] += cand.size
-                    counts.append(cand.size)
-                    if run_rec.enabled and cand.size:
-                        _record_dist_tile(
-                            run_rec, metric, 1, cand.size, dim, "node:scan"
+                with ntracer.span(
+                    "dist:node", node=w, n_queries=len(tasks)
+                ) as nspan:
+                    for qi, cand in tasks:
+                        D2 = metric.pairwise(
+                            metric.take(Qb, [qi]), metric.take(idx.X, cand)
                         )
+                        d, li = topk_of_block(D2, k)
+                        gi = np.where(
+                            li[0] >= 0, cand[np.clip(li[0], 0, None)], EMPTY_IDX
+                        )
+                        node_results[w].append((qi, d[0], gi))
+                        node_evals[w] += cand.size
+                        counts.append(cand.size)
+                        if run_rec.enabled and cand.size:
+                            _record_dist_tile(
+                                run_rec, metric, 1, cand.size, dim, "node:scan"
+                            )
+                    nspan.set(evals=node_evals[w])
+                tracer.adopt(ntracer.export())
                 node_times.append(
                     _node_compute_time(cluster.nodes[w], metric, dim, counts)
                 )
@@ -267,23 +293,29 @@ class DistributedRBC:
         # inside its own shipped list, and duplicates must not be able to
         # push a genuine neighbor past the merge window before the dedupe
         W = 2 * k
-        seed_order = np.argsort(D_R, axis=1, kind="stable")[:, :kk]
-        seed_d = np.take_along_axis(D_R, seed_order, axis=1)
-        seed_i = idx.rep_ids[seed_order].astype(np.int64)
-        out_d = np.pad(seed_d, ((0, 0), (0, W - kk)), constant_values=np.inf)
-        out_i = np.pad(seed_i, ((0, 0), (0, W - kk)), constant_values=EMPTY_IDX)
-        for w in range(cluster.n_nodes):
-            for qi, d, gi in node_results[w]:
-                dw = np.pad(d, (0, W - d.size), constant_values=np.inf)
-                gw = np.pad(gi, (0, W - gi.size), constant_values=EMPTY_IDX)
-                md, mi = merge_topk(
-                    (out_d[qi : qi + 1], out_i[qi : qi + 1]),
-                    (dw[None, :], gw[None, :]),
-                )
-                out_d[qi], out_i[qi] = md[0], mi[0]
-        out_d, out_i = _dedupe_batch(out_d, out_i, k)
+        with tracer.span_under(
+            query_span.context, "dist:merge", n_messages=messages
+        ):
+            seed_order = np.argsort(D_R, axis=1, kind="stable")[:, :kk]
+            seed_d = np.take_along_axis(D_R, seed_order, axis=1)
+            seed_i = idx.rep_ids[seed_order].astype(np.int64)
+            out_d = np.pad(seed_d, ((0, 0), (0, W - kk)), constant_values=np.inf)
+            out_i = np.pad(
+                seed_i, ((0, 0), (0, W - kk)), constant_values=EMPTY_IDX
+            )
+            for w in range(cluster.n_nodes):
+                for qi, d, gi in node_results[w]:
+                    dw = np.pad(d, (0, W - d.size), constant_values=np.inf)
+                    gw = np.pad(gi, (0, W - gi.size), constant_values=EMPTY_IDX)
+                    md, mi = merge_topk(
+                        (out_d[qi : qi + 1], out_i[qi : qi + 1]),
+                        (dw[None, :], gw[None, :]),
+                    )
+                    out_d[qi], out_i[qi] = md[0], mi[0]
+            out_d, out_i = _dedupe_batch(out_d, out_i, k)
 
         merge_s = _merge_time(cluster, m, k, messages)
+        tracer.finish(query_span)
         self.last_report = DistRunReport(
             n_queries=m,
             node_evals=node_evals,
@@ -345,13 +377,17 @@ class DistributedBruteForce:
     ) -> tuple[np.ndarray, np.ndarray]:
         if self.X is None:
             raise RuntimeError("call build(X) first")
-        run_rec = resolve_ctx(ctx).recorder
+        rctx = resolve_ctx(ctx)
+        run_rec = rctx.recorder
+        tracer = rctx.tracer
         metric = self.metric
         cluster = self.cluster
         Qb = Q if isinstance(Q, np.ndarray) and Q.ndim == 2 else metric._as_batch(Q)
         m = metric.length(Qb)
         dim = metric.dim(Qb)
 
+        query_span = tracer.start_span("dist:query", engine="bf", m=m, k=k)
+        span_ctx = query_span.context if tracer.enabled else None
         # broadcast all queries to all nodes
         bytes_to = [float(m * dim * _FLOAT_BYTES)] * cluster.n_nodes
         node_evals = []
@@ -364,9 +400,14 @@ class DistributedBruteForce:
                     node_times.append(0.0)
                     partials.append(None)
                     continue
-                D = metric.pairwise(Qb, metric.take(self.X, shard))
-                d, li = topk_of_block(D, k)
-                gi = np.where(li >= 0, shard[np.clip(li, 0, None)], EMPTY_IDX)
+                ntracer = _node_tracer(span_ctx)
+                with ntracer.span("dist:node", node=w, shard=int(shard.size)):
+                    D = metric.pairwise(Qb, metric.take(self.X, shard))
+                    d, li = topk_of_block(D, k)
+                    gi = np.where(
+                        li >= 0, shard[np.clip(li, 0, None)], EMPTY_IDX
+                    )
+                tracer.adopt(ntracer.export())
                 partials.append((d, gi))
                 node_evals.append(int(D.size))
                 if run_rec.enabled:
@@ -379,11 +420,15 @@ class DistributedBruteForce:
                 node_times.append(simulate(rec.trace, cluster.nodes[w]).time_s)
 
         bytes_from = [float(m * k * (_FLOAT_BYTES + _ID_BYTES))] * cluster.n_nodes
-        out_d = np.full((m, k), np.inf)
-        out_i = np.full((m, k), EMPTY_IDX, dtype=np.int64)
-        for part in partials:
-            if part is not None:
-                out_d, out_i = merge_topk((out_d, out_i), part)
+        with tracer.span_under(
+            query_span.context, "dist:merge", n_messages=cluster.n_nodes
+        ):
+            out_d = np.full((m, k), np.inf)
+            out_i = np.full((m, k), EMPTY_IDX, dtype=np.int64)
+            for part in partials:
+                if part is not None:
+                    out_d, out_i = merge_topk((out_d, out_i), part)
+        tracer.finish(query_span)
 
         self.last_report = DistRunReport(
             n_queries=m,

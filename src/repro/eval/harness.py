@@ -59,9 +59,13 @@ def traced_query(
     With ``trace_ops=False`` no machine-model trace is collected (``sims``
     is empty) but per-phase wall time and the counter windows still are —
     the near-zero-overhead mode.
+
+    A tracer on ``ctx`` threads through to the recorder, so recorded ops
+    carry the live span's id (see :class:`~repro.simulator.trace.Op`).
     """
-    recorder = TimingRecorder(trace_ops=trace_ops)
-    run_ctx = resolve_ctx(ctx).with_recorder(recorder)
+    run_ctx = resolve_ctx(ctx)
+    recorder = TimingRecorder(trace_ops=trace_ops, tracer=run_ctx.tracer)
+    run_ctx = run_ctx.with_recorder(recorder)
     with run_ctx.observe(index.metric) as obs:
         if ctx is None:
             # legacy protocol: any index with a recorder= kwarg works
@@ -96,8 +100,9 @@ def traced_build(
     ``report[machine.name].time_s`` — exactly like the plain dict this
     function used to return.
     """
-    recorder = TimingRecorder(trace_ops=trace_ops)
-    run_ctx = resolve_ctx(ctx).with_recorder(recorder)
+    run_ctx = resolve_ctx(ctx)
+    recorder = TimingRecorder(trace_ops=trace_ops, tracer=run_ctx.tracer)
+    run_ctx = run_ctx.with_recorder(recorder)
     with run_ctx.observe(index.metric) as obs:
         if ctx is None:
             index.build(X, recorder=recorder, **build_kwargs)

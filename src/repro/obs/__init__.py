@@ -1,0 +1,51 @@
+"""repro.obs — live telemetry: span tracing, metrics, and SLO monitoring.
+
+The post-hoc observability of :mod:`repro.runtime` (RunReports summarize a
+run after it ends) gets a *live* counterpart here:
+
+* :mod:`repro.obs.tracing` — :class:`Span`/:class:`Tracer` timelines with
+  trace/span/parent identity that crosses the process boundary (span
+  contexts ride pickled task payloads; worker spans are re-parented on
+  return) and export as Chrome ``trace_events`` JSON;
+* :mod:`repro.obs.metrics` — a process-wide :class:`MetricsRegistry` of
+  named counters/gauges/histograms with label support, per-thread shards
+  on the write path, Prometheus text exposition, and JSONL snapshots;
+* :mod:`repro.obs.collectors` — pull-gauges over the instruments the
+  package already has (operand cache, executor pool, operand store,
+  packed-list slack);
+* :mod:`repro.obs.slo` — a rolling-window :class:`SLOMonitor` tracking
+  latency percentiles and error-budget burn against the batcher's
+  latency budget, with breach callbacks the batcher consumes.
+
+This package sits at the bottom of the layering (stdlib + numpy only), so
+every other module can import it freely.
+"""
+
+from .collectors import install_index_collectors, install_standard_collectors
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registry,
+)
+from .slo import SLOMonitor
+from .tracing import NULL_TRACER, Span, SpanContext, Tracer, chrome_trace
+
+__all__ = [
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "NULL_TRACER",
+    "chrome_trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+    "DEFAULT_BUCKETS",
+    "install_standard_collectors",
+    "install_index_collectors",
+    "SLOMonitor",
+]

@@ -1,0 +1,120 @@
+"""Pull-style collectors: bridge existing instruments into the registry.
+
+The package already measures its hot seams — the operand cache counts
+preparations vs hits, the executor pool counts pools created, the operand
+store counts registrations, packed list storage knows its slack.  None of
+that should be *pushed* into the registry on the hot path; instead these
+collectors read the existing instruments at scrape time (they run inside
+:meth:`~repro.obs.metrics.MetricsRegistry.expose` / ``snapshot``), so the
+cost lands on the scraper, never on a query.
+
+:func:`install_standard_collectors` wires the process-wide seams; it is
+idempotent, so every entry point that wants a populated registry (the
+serving front-end, the ``repro metrics`` CLI) can call it unconditionally.
+:func:`install_index_collectors` adds per-index gauges (packed-list slack,
+dataset shape) for the index a serving session fronts.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+from .metrics import MetricsRegistry, registry as default_registry
+
+__all__ = ["install_standard_collectors", "install_index_collectors"]
+
+
+def _collect_process_seams(reg: MetricsRegistry) -> None:
+    # imported lazily: obs sits below everything else in the layering, so
+    # the modules being observed must not be imported at obs import time
+    from ..metrics.engine import operand_cache
+    from ..parallel.pool import executor_pool, operand_store
+
+    stats = operand_cache.stats.snapshot()
+    reg.gauge(
+        "repro_operand_cache_hits_total",
+        "pairwise calls served by a cached prepared operand",
+    ).set(stats.n_hits)
+    reg.gauge(
+        "repro_operand_cache_prepared_total",
+        "operand preparations (norm hoists) performed",
+    ).set(stats.n_prepared)
+    reg.gauge(
+        "repro_operand_cache_invalidated_total",
+        "cached operands invalidated by version bumps",
+    ).set(stats.n_invalidated)
+    total = stats.n_hits + stats.n_prepared
+    reg.gauge(
+        "repro_operand_cache_hit_rate",
+        "fraction of operand lookups served from cache",
+    ).set(stats.n_hits / total if total else 0.0)
+
+    reg.gauge(
+        "repro_executor_pool_live",
+        "resident executors currently registered",
+    ).set(len(executor_pool))
+    reg.gauge(
+        "repro_executor_pool_created_total",
+        "executors constructed over the registry lifetime",
+    ).set(executor_pool.n_created)
+
+    reg.gauge(
+        "repro_operand_store_entries",
+        "datasets resident in the shared-memory operand store",
+    ).set(len(operand_store))
+    reg.gauge(
+        "repro_operand_store_registered_total",
+        "shared-memory operand registrations (each is one copy)",
+    ).set(operand_store.n_registered)
+    reg.gauge(
+        "repro_operand_store_hits_total",
+        "process-backend calls served by an existing registration",
+    ).set(operand_store.n_hits)
+
+
+def install_standard_collectors(reg: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Attach the process-wide seam collectors to ``reg`` (idempotent)."""
+    reg = reg if reg is not None else default_registry
+    reg.add_collector(_collect_process_seams)
+    return reg
+
+
+def install_index_collectors(
+    index, reg: MetricsRegistry | None = None, *, label: str | None = None
+) -> MetricsRegistry:
+    """Attach per-index gauges: packed-list occupancy/slack and size.
+
+    The collector holds the index weakly — registering an index for
+    observation must not keep it alive past its serving session.
+    """
+    reg = reg if reg is not None else default_registry
+    ref = weakref.ref(index)
+    name = label or type(index).__name__
+
+    def collect(r: MetricsRegistry) -> None:
+        idx = ref()
+        if idx is None:
+            return
+        r.gauge(
+            "repro_index_points", "database points indexed", ("index",)
+        ).set(getattr(idx, "n", 0), index=name)
+        packed = getattr(idx, "packed", None)
+        if packed is None:
+            return
+        size = getattr(packed, "total", None)
+        capacity = getattr(packed, "capacity", None)
+        if size is None or capacity is None:
+            return
+        r.gauge(
+            "repro_packed_entries",
+            "stored entries in packed list storage",
+            ("index",),
+        ).set(size, index=name)
+        r.gauge(
+            "repro_packed_slack_entries",
+            "allocated-but-unused entries (growth headroom)",
+            ("index",),
+        ).set(capacity - size, index=name)
+
+    reg.add_collector(collect)
+    return reg

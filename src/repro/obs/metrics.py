@@ -1,0 +1,366 @@
+"""Process-wide metrics: named counters/gauges/histograms with exporters.
+
+The serving stack already *has* the measurement seams — DistanceCounter
+windows, operand-cache hit counters, the batcher's ladder level, executor
+pool health — but each lives in its own object with its own API.  This
+module gives them one registry with the Prometheus data model:
+
+* :class:`Counter` — monotone totals.  The hot-path concern is lock
+  traffic: a counter bumped per batch (or per query) from many threads
+  must not serialize them, so each thread writes its own *shard* (a plain
+  dict bump, no lock) and readers sum the shards.  Totals are exact — a
+  shard is only ever written by its owning thread — which the concurrency
+  tests hammer.
+* :class:`Gauge` — last-written values (ladder level, queue depth, slack).
+  Set/inc are lock-protected; gauges are written per batch, not per row.
+* :class:`Histogram` — cumulative bucket counts plus sum/count (latency
+  distributions), sharded per thread like counters.
+
+All three support label dimensions (``counter.inc(backend="threads")``).
+
+:class:`MetricsRegistry` is the namespace: ``registry.counter(name, help)``
+creates-or-returns, :meth:`MetricsRegistry.expose` renders the Prometheus
+text exposition format (``# HELP`` / ``# TYPE`` / samples), and
+:meth:`MetricsRegistry.snapshot` / :meth:`MetricsRegistry.dump_jsonl`
+produce the JSON forms the ``repro report`` CLI pretty-prints.  Registered
+*collector* callbacks run before every read so pull-style gauges (cache
+hit rate, pool health — see :mod:`repro.obs.collectors`) are fresh at
+scrape time and cost nothing between scrapes.
+
+The module-level :data:`registry` is the process default, mirroring
+Prometheus client conventions; tests build private registries.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+    "DEFAULT_BUCKETS",
+]
+
+#: default histogram buckets (seconds): 100µs .. 10s, log-spaced-ish
+DEFAULT_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _label_key(labelnames: tuple, labels: dict) -> tuple:
+    if set(labels) != set(labelnames):
+        raise ValueError(
+            f"expected labels {labelnames}, got {tuple(labels)}"
+        )
+    return tuple(str(labels[name]) for name in labelnames)
+
+
+def _render_labels(labelnames: tuple, key: tuple) -> str:
+    if not labelnames:
+        return ""
+    inner = ",".join(
+        f'{name}="{val}"' for name, val in zip(labelnames, key)
+    )
+    return "{" + inner + "}"
+
+
+class _Metric:
+    """Shared plumbing: name, help text, label schema."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labelnames=()) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+
+    def samples(self) -> list[tuple[str, tuple, float]]:
+        """(suffix, label_key, value) triples for the exposition."""
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """Monotone counter with per-thread shards (lock-free increments)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labelnames=()) -> None:
+        super().__init__(name, help, labelnames)
+        self._tls = threading.local()
+        self._shards: list[dict] = []
+        self._lock = threading.Lock()
+
+    def _shard(self) -> dict:
+        shard = getattr(self._tls, "shard", None)
+        if shard is None:
+            shard = self._tls.shard = {}
+            # shard registration is the only locked operation, paid once
+            # per (thread, counter) pair over the process lifetime
+            with self._lock:
+                self._shards.append(shard)
+        return shard
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = _label_key(self.labelnames, labels)
+        shard = self._shard()
+        shard[key] = shard.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            shards = list(self._shards)
+        return sum(shard.get(key, 0.0) for shard in shards)
+
+    def collect(self) -> dict[tuple, float]:
+        """Label-key -> total, summed across thread shards."""
+        with self._lock:
+            shards = list(self._shards)
+        out: dict[tuple, float] = {}
+        for shard in shards:
+            for key, val in list(shard.items()):
+                out[key] = out.get(key, 0.0) + val
+        return out
+
+    def samples(self) -> list[tuple[str, tuple, float]]:
+        return [("", key, val) for key, val in sorted(self.collect().items())]
+
+
+class Gauge(_Metric):
+    """Last-written value; supports ``set``/``inc``/``dec`` and callbacks."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labelnames=()) -> None:
+        super().__init__(name, help, labelnames)
+        self._values: dict[tuple, float] = {}
+        self._lock = threading.Lock()
+
+    def set(self, value: float, **labels) -> None:
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels) -> float:
+        key = _label_key(self.labelnames, labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def collect(self) -> dict[tuple, float]:
+        with self._lock:
+            return dict(self._values)
+
+    def samples(self) -> list[tuple[str, tuple, float]]:
+        return [("", key, val) for key, val in sorted(self.collect().items())]
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram, sharded per thread like a counter."""
+
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, help: str = "", labelnames=(), buckets=DEFAULT_BUCKETS
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        self._tls = threading.local()
+        self._shards: list[dict] = []
+        self._lock = threading.Lock()
+
+    def _shard(self) -> dict:
+        shard = getattr(self._tls, "shard", None)
+        if shard is None:
+            shard = self._tls.shard = {}
+            with self._lock:
+                self._shards.append(shard)
+        return shard
+
+    def observe(self, value: float, **labels) -> None:
+        key = _label_key(self.labelnames, labels)
+        shard = self._shard()
+        ent = shard.get(key)
+        if ent is None:
+            ent = shard[key] = [[0] * len(self.buckets), 0.0, 0]
+        counts, _, _ = ent
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                counts[i] += 1
+                break
+        ent[1] += value
+        ent[2] += 1
+
+    def collect(self) -> dict[tuple, tuple[list[int], float, int]]:
+        """Label-key -> (bucket_counts, sum, count) across shards."""
+        with self._lock:
+            shards = list(self._shards)
+        out: dict[tuple, list] = {}
+        for shard in shards:
+            for key, (counts, total, n) in list(shard.items()):
+                ent = out.setdefault(key, [[0] * len(self.buckets), 0.0, 0])
+                ent[0] = [a + b for a, b in zip(ent[0], counts)]
+                ent[1] += total
+                ent[2] += n
+        return {k: (v[0], v[1], v[2]) for k, v in out.items()}
+
+    def samples(self) -> list[tuple[str, tuple, float]]:
+        rows: list[tuple[str, tuple, float]] = []
+        for key, (counts, total, n) in sorted(self.collect().items()):
+            cum = 0
+            for bound, c in zip(self.buckets, counts):
+                cum += c
+                rows.append((f'_bucket{{le="{bound:g}"}}', key, float(cum)))
+            rows.append(('_bucket{le="+Inf"}', key, float(n)))
+            rows.append(("_sum", key, total))
+            rows.append(("_count", key, float(n)))
+        return rows
+
+
+class MetricsRegistry:
+    """Named metrics plus the exporters that read them.
+
+    ``counter``/``gauge``/``histogram`` are create-or-return: the first
+    call fixes kind, help, and label schema, later calls must agree (a
+    mismatch raises, catching collisions between instrumented modules).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, _Metric] = {}
+        self._collectors: list = []
+        self._lock = threading.Lock()
+
+    # --------------------------------------------------------- registration
+    def _get_or_create(self, cls, name: str, help: str, labelnames, **kw):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls) or existing.labelnames != tuple(
+                    labelnames
+                ):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind} with labels {existing.labelnames}"
+                    )
+                return existing
+            metric = cls(name, help, labelnames, **kw)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "", labelnames=()) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "", labelnames=()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(
+        self, name: str, help: str = "", labelnames=(), buckets=DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, labelnames, buckets=buckets
+        )
+
+    def get(self, name: str) -> _Metric | None:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def add_collector(self, fn) -> None:
+        """Register ``fn(registry)`` to run before every read (idempotent
+        by function identity)."""
+        with self._lock:
+            if fn not in self._collectors:
+                self._collectors.append(fn)
+
+    def _run_collectors(self) -> None:
+        with self._lock:
+            collectors = list(self._collectors)
+        for fn in collectors:
+            fn(self)
+
+    # ------------------------------------------------------------ exporters
+    def expose(self) -> str:
+        """The Prometheus text exposition format (scrape endpoint body)."""
+        self._run_collectors()
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        lines: list[str] = []
+        for name, metric in metrics:
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            for suffix, key, val in metric.samples():
+                if suffix.startswith("_bucket"):
+                    # bucket suffix carries its own le label; merge with
+                    # the metric's label set
+                    le = suffix[suffix.index("{") :]
+                    base = _render_labels(metric.labelnames, key)
+                    if base:
+                        merged = base[:-1] + "," + le[1:]
+                    else:
+                        merged = le
+                    lines.append(f"{name}_bucket{merged} {val:g}")
+                else:
+                    labels = _render_labels(metric.labelnames, key)
+                    lines.append(f"{name}{suffix}{labels} {val:g}")
+        return "\n".join(lines) + "\n"
+
+    def snapshot(self) -> dict:
+        """JSON-friendly view: name -> {kind, values} (labels joined)."""
+        self._run_collectors()
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        out: dict[str, dict] = {}
+        for name, metric in metrics:
+            if isinstance(metric, Histogram):
+                values = {
+                    ",".join(key) or "": {"sum": total, "count": n}
+                    for key, (counts, total, n) in metric.collect().items()
+                }
+            else:
+                values = {
+                    ",".join(key) or "": val
+                    for key, val in metric.collect().items()
+                }
+            out[name] = {"kind": metric.kind, "values": values}
+        return out
+
+    def dump_jsonl(self, path, *, now: float | None = None) -> None:
+        """Append one timestamped snapshot line to a JSONL file."""
+        record = {
+            "ts": time.time() if now is None else float(now),
+            "metrics": self.snapshot(),
+        }
+        with open(path, "a") as fh:
+            fh.write(json.dumps(record) + "\n")
+
+    def clear(self) -> None:
+        """Drop every metric and collector (test isolation)."""
+        with self._lock:
+            self._metrics.clear()
+            self._collectors.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._metrics
+
+
+#: the process-default registry (instrumented modules and the CLI share it)
+registry = MetricsRegistry()

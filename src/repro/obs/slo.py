@@ -1,0 +1,199 @@
+"""Serving SLO monitor: rolling latency percentiles and error-budget burn.
+
+The micro-batcher (:class:`~repro.serving.batcher.QueryBatcher`) already
+*enforces* a latency budget per query; this module *tracks* how the served
+distribution sits against that budget, the way a production serving stack
+does:
+
+* a **rolling window** of per-query sojourn latencies (arrival to answer)
+  with p50/p95/p99 over the window — the live counterpart of the post-hoc
+  :class:`~repro.runtime.report.LatencyStats`;
+* **error-budget burn**: with an SLO of "``target`` of queries answered
+  within ``budget_s``" (default 99%), the allowed violation fraction is
+  ``1 - target``; the burn rate is the observed violation fraction divided
+  by the allowance.  Burn 1.0 means the budget is being spent exactly as
+  fast as it accrues; burn 4.0 means a 30-day budget dies in a week;
+* **threshold callbacks**: consumers register ``on_breach`` callbacks
+  fired (with cooldown) while the burn rate exceeds ``burn_threshold``.
+  The batcher consumes this — :class:`~repro.serving.searcher.
+  StreamingSearcher` wires a breach to
+  :meth:`~repro.serving.batcher.QueryBatcher.backoff`, dropping the ladder
+  one level so smaller, faster batches relieve the tail.
+
+Like the batcher, the monitor is a pure policy object on an explicit
+clock: ``observe(latency_s, now)`` takes the caller's ``now``, so the same
+code runs under the live ``submit()`` path (wall clock) and the
+virtual-clock ``search_stream`` replay, and the percentile agreement
+between the monitor and the stream's :class:`LatencyStats` is testable
+exactly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+__all__ = ["SLOMonitor"]
+
+
+class SLOMonitor:
+    """Rolling-window latency SLO tracking with breach callbacks.
+
+    Parameters
+    ----------
+    budget_s:
+        per-query latency objective (seconds); a query slower than this is
+        a violation.  Serving code passes the batcher's
+        ``BatchPolicy.max_delay_s``.
+    target:
+        SLO attainment target — fraction of queries that must meet the
+        budget (default 0.99, i.e. a 1% error budget).
+    window_s:
+        rolling-window length in seconds (``inf`` keeps every sample —
+        useful when a whole replayed stream is one evaluation window).
+    burn_threshold:
+        callbacks fire while ``burn_rate`` exceeds this (default 1.0:
+        spending budget faster than it accrues).
+    cooldown_s:
+        minimum spacing between callback firings, so a sustained breach
+        produces a paced signal instead of one per query.
+    """
+
+    def __init__(
+        self,
+        budget_s: float,
+        *,
+        target: float = 0.99,
+        window_s: float = 60.0,
+        burn_threshold: float = 1.0,
+        cooldown_s: float = 1.0,
+    ) -> None:
+        if budget_s <= 0:
+            raise ValueError("budget_s must be positive")
+        if not 0.0 < target < 1.0:
+            raise ValueError("target must be in (0, 1)")
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        self.budget_s = float(budget_s)
+        self.target = float(target)
+        self.window_s = float(window_s)
+        self.burn_threshold = float(burn_threshold)
+        self.cooldown_s = float(cooldown_s)
+        #: (observed_at, latency_s) samples inside the window
+        self._samples: deque[tuple[float, float]] = deque()
+        self._violations = 0
+        self._callbacks: list = []
+        self._last_fired: float | None = None
+        #: lifetime counters (survive window eviction)
+        self.n_observed = 0
+        self.n_violations_total = 0
+        self.n_breaches = 0
+        #: most recent queue depth reported by the server
+        self.queue_depth = 0
+
+    # ------------------------------------------------------------ ingestion
+    def on_breach(self, callback) -> None:
+        """Register ``callback(monitor)`` to fire on budget-burn breach."""
+        self._callbacks.append(callback)
+
+    def observe(
+        self, latency_s: float, now: float, *, queue_depth: int | None = None
+    ) -> None:
+        """Record one served query's sojourn latency at time ``now``."""
+        latency_s = float(latency_s)
+        if not np.isfinite(latency_s) or latency_s < 0:
+            raise ValueError("latency samples must be finite and non-negative")
+        self._evict(now)
+        self._samples.append((float(now), latency_s))
+        self.n_observed += 1
+        if latency_s > self.budget_s:
+            self._violations += 1
+            self.n_violations_total += 1
+        if queue_depth is not None:
+            self.queue_depth = int(queue_depth)
+        if self.burn_rate > self.burn_threshold:
+            self._fire(now)
+
+    def _evict(self, now: float) -> None:
+        if self.window_s == np.inf:
+            return
+        horizon = float(now) - self.window_s
+        samples = self._samples
+        while samples and samples[0][0] < horizon:
+            _, lat = samples.popleft()
+            if lat > self.budget_s:
+                self._violations -= 1
+
+    def _fire(self, now: float) -> None:
+        if (
+            self._last_fired is not None
+            and now - self._last_fired < self.cooldown_s
+        ):
+            return
+        self._last_fired = float(now)
+        self.n_breaches += 1
+        for cb in list(self._callbacks):
+            cb(self)
+
+    # ------------------------------------------------------------- reading
+    @property
+    def n_window(self) -> int:
+        return len(self._samples)
+
+    @property
+    def violation_fraction(self) -> float:
+        return self._violations / len(self._samples) if self._samples else 0.0
+
+    @property
+    def burn_rate(self) -> float:
+        """Observed violation fraction over the allowed fraction."""
+        return self.violation_fraction / (1.0 - self.target)
+
+    def percentile(self, q: float) -> float:
+        if not self._samples:
+            return 0.0
+        lats = np.fromiter(
+            (lat for _, lat in self._samples), dtype=np.float64
+        )
+        return float(np.percentile(lats, q))
+
+    @property
+    def p50_s(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95_s(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99_s(self) -> float:
+        return self.percentile(99)
+
+    def report(self) -> dict:
+        """JSON-friendly summary of the current window and lifetime."""
+        return {
+            "budget_s": self.budget_s,
+            "target": self.target,
+            "window_s": self.window_s,
+            "n_window": self.n_window,
+            "p50_s": self.p50_s,
+            "p95_s": self.p95_s,
+            "p99_s": self.p99_s,
+            "violation_fraction": self.violation_fraction,
+            "burn_rate": self.burn_rate,
+            "queue_depth": self.queue_depth,
+            "n_observed": self.n_observed,
+            "n_violations_total": self.n_violations_total,
+            "n_breaches": self.n_breaches,
+        }
+
+    def summary(self) -> str:
+        r = self.report()
+        return (
+            f"SLO p50 {r['p50_s'] * 1e3:.3f} ms, p95 {r['p95_s'] * 1e3:.3f} ms, "
+            f"p99 {r['p99_s'] * 1e3:.3f} ms against {self.budget_s * 1e3:g} ms "
+            f"budget; burn {r['burn_rate']:.2f} "
+            f"({r['n_violations_total']} violations / {r['n_observed']} served, "
+            f"{r['n_breaches']} breach signals)"
+        )

@@ -29,6 +29,7 @@ import numpy as np
 from ..metrics import get_metric
 from ..metrics.base import Metric, VectorMetric
 from ..metrics.engine import Prepared, check_dtype, prepare_operands, refine_topk
+from ..obs.tracing import NULL_TRACER, SpanContext, Tracer
 from ..runtime.context import ExecContext, resolve_ctx
 from ..simulator.trace import NULL_RECORDER, Op, TraceRecorder
 from .blocking import choose_tile_cols, row_chunks
@@ -328,27 +329,36 @@ def bf_knn(
                 "'threads' or 'serial'"
             )
         pool = ctx.executor if isinstance(ctx.executor, ProcessExecutor) else None
-        if isinstance(metric, VectorMetric):
-            # a gathered ids-subset is a fresh array per call: registering
-            # it would churn the resident store for zero reuse
-            dist, idx = bf_knn_processes(
-                Qb, X, name, k=k, n_workers=ctx.n_workers,
-                row_chunk=row_chunk, tile_cols=tile_cols, executor=pool,
-                resident=ids is None,
-            )
-        else:
-            tasks = [
-                (lo, metric.take(Qb, np.arange(lo, hi)), X, name, k, tile_cols)
-                for lo, hi in row_chunks(m, row_chunk)
-            ]
-            if pool is not None:
-                parts = pool.map(_proc_chunk_knn_pickled, tasks)
+        with ctx.span("bf:knn", backend="processes", m=m, n=n, k=k):
+            if isinstance(metric, VectorMetric):
+                # a gathered ids-subset is a fresh array per call:
+                # registering it would churn the resident store for zero
+                # reuse
+                dist, idx = bf_knn_processes(
+                    Qb, X, name, k=k, n_workers=ctx.n_workers,
+                    row_chunk=row_chunk, tile_cols=tile_cols, executor=pool,
+                    resident=ids is None, tracer=ctx.tracer,
+                )
             else:
-                with get_executor("processes", ctx.n_workers) as ex:
-                    parts = ex.map(_proc_chunk_knn_pickled, tasks)
-            parts.sort(key=lambda t: t[0])
-            dist = np.concatenate([p[1] for p in parts], axis=0)
-            idx = np.concatenate([p[2] for p in parts], axis=0)
+                span_ctx = ctx.tracer.context()
+                tasks = [
+                    (
+                        lo,
+                        metric.take(Qb, np.arange(lo, hi)),
+                        X, name, k, tile_cols, span_ctx,
+                    )
+                    for lo, hi in row_chunks(m, row_chunk)
+                ]
+                if pool is not None:
+                    parts = pool.map(_proc_chunk_knn_pickled, tasks)
+                else:
+                    with get_executor("processes", ctx.n_workers) as ex:
+                        parts = ex.map(_proc_chunk_knn_pickled, tasks)
+                for p in parts:
+                    ctx.tracer.adopt(p[3])
+                parts.sort(key=lambda t: t[0])
+                dist = np.concatenate([p[1] for p in parts], axis=0)
+                idx = np.concatenate([p[2] for p in parts], axis=0)
         # workers evaluate every (q, x) pair; credit the caller's counter in
         # one bulk update so work accounting survives the process boundary
         metric.counter.add(m * n)
@@ -391,7 +401,9 @@ def bf_knn(
             Qc = metric.take(Qb, np.arange(lo, hi)) if (lo, hi) != (0, m) else Qb
             return _knn_one_chunk(metric, Qc, X, k, tile_cols, recorder, dim, "bf")
 
-    with ctx.executor_scope() as exec_:
+    tracer = ctx.tracer
+    with tracer.span("bf:knn", m=m, n=n, k=k, dtype=dtype) as bf_span, \
+            ctx.executor_scope() as exec_:
         if ctx.row_chunk is None and not isinstance(exec_, SerialExecutor):
             # no explicit chunking: let the scheduler size chunks to the
             # pool (static split for small inputs, dynamic oversubscription
@@ -399,10 +411,21 @@ def bf_knn(
             chunks = plan_row_chunks(m, exec_.n_workers)
         else:
             chunks = row_chunks(m, row_chunk)
+        bf_span.set(backend=type(exec_).__name__, chunks=len(chunks))
+
+        def traced_task(chunk, _parent=tracer.context()):
+            # worker threads start with an empty span stack; parent their
+            # chunk spans under the submitting bf:knn span explicitly
+            with tracer.span_under(
+                _parent, "bf:chunk", lo=chunk[0], hi=chunk[1]
+            ):
+                return task(chunk)
+
+        run = task if not tracer.enabled else traced_task
         if len(chunks) == 1 or isinstance(exec_, SerialExecutor):
-            parts = [task(c) for c in chunks]
+            parts = [run(c) for c in chunks]
         else:
-            parts = exec_.map(task, chunks)
+            parts = exec_.map(run, chunks)
 
     dist = np.concatenate([p[0] for p in parts], axis=0)
     idx = np.concatenate([p[1] for p in parts], axis=0)
@@ -587,28 +610,43 @@ def _registry_name(metric: Metric) -> str:
     return name
 
 
-def _proc_chunk_knn_pickled(args) -> tuple[int, np.ndarray, np.ndarray]:
+def _worker_tracer(span_ctx: SpanContext | None) -> Tracer:
+    """A tracer for one worker task: children of the submitting span.
+
+    The submitting span's identity rides the pickled task payload as a
+    :class:`~repro.obs.tracing.SpanContext`; the worker's spans are minted
+    in its own pid namespace, parented under the submitter, and returned
+    (as dicts) with the task result for the parent tracer to adopt.
+    """
+    return Tracer(root=span_ctx) if span_ctx is not None else NULL_TRACER
+
+
+def _proc_chunk_knn_pickled(args) -> tuple[int, np.ndarray, np.ndarray, list]:
     """Process-pool worker for non-vector metrics: operands travel pickled."""
-    lo, Qc, X, metric_name, k, tile_cols = args
+    lo, Qc, X, metric_name, k, tile_cols, span_ctx = args
     metric = get_metric(metric_name)
-    dist, idx = _knn_one_chunk(
-        metric, Qc, X, k, tile_cols, NULL_RECORDER, metric.dim(X), "bf"
-    )
-    return lo, dist, idx
+    wtracer = _worker_tracer(span_ctx)
+    with wtracer.span("bf:chunk", lo=lo, rows=metric.length(Qc)):
+        dist, idx = _knn_one_chunk(
+            metric, Qc, X, k, tile_cols, NULL_RECORDER, metric.dim(X), "bf"
+        )
+    return lo, dist, idx, wtracer.export() if wtracer.enabled else []
 
 
-def _proc_chunk_knn(args) -> tuple[int, np.ndarray, np.ndarray]:
+def _proc_chunk_knn(args) -> tuple[int, np.ndarray, np.ndarray, list]:
     """Process-pool worker: top-k for one row chunk from shared memory."""
-    qh, xh, lo, hi, metric_name, k, tile_cols = args
+    qh, xh, lo, hi, metric_name, k, tile_cols, span_ctx = args
     Q = qh.open()
     X = xh.open()
     metric = get_metric(metric_name)
-    dist, idx = _knn_one_chunk(
-        metric, Q[lo:hi], X, k, tile_cols, NULL_RECORDER, X.shape[1], "bf"
-    )
+    wtracer = _worker_tracer(span_ctx)
+    with wtracer.span("bf:chunk", lo=lo, hi=hi):
+        dist, idx = _knn_one_chunk(
+            metric, Q[lo:hi], X, k, tile_cols, NULL_RECORDER, X.shape[1], "bf"
+        )
     qh.close()
     xh.close()
-    return lo, dist, idx
+    return lo, dist, idx, wtracer.export() if wtracer.enabled else []
 
 
 def _as_shared_f64(A) -> np.ndarray:
@@ -674,20 +712,22 @@ def _proc_chunk_knn_resident(args) -> tuple[int, np.ndarray, np.ndarray]:
     metrics select in the squared domain with the root deferred to the
     ``(chunk, k)`` result, exactly like the in-process engine path.
     """
-    qh, handles, lo, hi, metric_name, k, tile_cols = args
+    qh, handles, lo, hi, metric_name, k, tile_cols, span_ctx = args
     metric = get_metric(metric_name)
-    Xp = _attach_prepared(handles)
-    Q = qh.open()
-    Qp = metric.prepare(Q[lo:hi], dtype=str(Xp.dtype))
-    squared = metric.squared_ok
-    dist, idx = _knn_one_chunk_prepared(
-        metric, Qp, Xp, k, tile_cols, NULL_RECORDER,
-        Xp.data.shape[1], "bf", squared,
-    )
-    if squared:
-        dist = metric.from_squared(dist)
+    wtracer = _worker_tracer(span_ctx)
+    with wtracer.span("bf:chunk", lo=lo, hi=hi, resident=True):
+        Xp = _attach_prepared(handles)
+        Q = qh.open()
+        Qp = metric.prepare(Q[lo:hi], dtype=str(Xp.dtype))
+        squared = metric.squared_ok
+        dist, idx = _knn_one_chunk_prepared(
+            metric, Qp, Xp, k, tile_cols, NULL_RECORDER,
+            Xp.data.shape[1], "bf", squared,
+        )
+        if squared:
+            dist = metric.from_squared(dist)
     qh.close()
-    return lo, dist, idx
+    return lo, dist, idx, wtracer.export() if wtracer.enabled else []
 
 
 def bf_knn_processes(
@@ -701,6 +741,7 @@ def bf_knn_processes(
     tile_cols: int | None = None,
     executor: Executor | None = None,
     resident: bool = True,
+    tracer: Tracer = NULL_TRACER,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Process-parallel ``bf_knn`` for vector metrics.
 
@@ -726,6 +767,9 @@ def bf_knn_processes(
     Q = _as_shared_f64(Q)
     X = _as_shared_f64(X)
     tile_cols = tile_cols or choose_tile_cols(X.shape[0], X.shape[1])
+    # the submitting span's ids ride the pickled payloads; worker spans
+    # come back in the results and are adopted into the caller's timeline
+    span_ctx = tracer.context() if tracer.enabled else None
     qh = SharedArray.from_array(Q)
     xh = None
     try:
@@ -733,14 +777,14 @@ def bf_knn_processes(
             handles = register_resident_operands(get_metric(metric), X)
             worker = _proc_chunk_knn_resident
             tasks = [
-                (qh, handles, lo, hi, metric, k, tile_cols)
+                (qh, handles, lo, hi, metric, k, tile_cols, span_ctx)
                 for lo, hi in row_chunks(Q.shape[0], row_chunk)
             ]
         else:
             xh = SharedArray.from_array(X)
             worker = _proc_chunk_knn
             tasks = [
-                (qh, xh, lo, hi, metric, k, tile_cols)
+                (qh, xh, lo, hi, metric, k, tile_cols, span_ctx)
                 for lo, hi in row_chunks(Q.shape[0], row_chunk)
             ]
         if executor is not None:
@@ -752,6 +796,8 @@ def bf_knn_processes(
         qh.unlink()
         if xh is not None:
             xh.unlink()
+    for p in parts:
+        tracer.adopt(p[3])
     parts.sort(key=lambda t: t[0])
     dist = np.concatenate([p[1] for p in parts], axis=0)
     idx = np.concatenate([p[2] for p in parts], axis=0)

@@ -43,6 +43,7 @@ import numpy as np
 
 from ..metrics.base import VectorMetric
 from ..metrics.engine import CacheCounter, check_dtype, operand_cache
+from ..obs.tracing import NULL_TRACER, Tracer
 from ..simulator.trace import NULL_RECORDER, TraceRecorder
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -70,9 +71,12 @@ class TimingRecorder(TraceRecorder):
     cost of two ``perf_counter`` calls per phase.
     """
 
-    def __init__(self, trace_ops: bool = True) -> None:
+    def __init__(self, trace_ops: bool = True, tracer: Tracer | None = None) -> None:
         super().__init__()
         self.enabled = bool(trace_ops)
+        if tracer is not None and tracer.enabled:
+            # ops recorded under an open span carry its id (see Op.span_id)
+            self.tracer = tracer
         self.phase_wall: dict[str, float] = {}
         self._wall_lock = threading.Lock()
 
@@ -132,6 +136,9 @@ class ExecContext:
         worker count for string specs.
     recorder:
         trace recorder; :data:`NULL_RECORDER` disables tracing.
+    tracer:
+        span tracer (:mod:`repro.obs`); :data:`~repro.obs.tracing.
+        NULL_TRACER` disables span collection at near-zero cost.
     dtype:
         compute dtype for vector-metric kernels (``None`` inherits;
         effective default ``"float64"``).
@@ -150,10 +157,13 @@ class ExecContext:
     engine: bool | None = None
     row_chunk: int | None = None
     tile_cols: int | None = None
+    tracer: Tracer = NULL_TRACER
 
     def __post_init__(self) -> None:
         if self.recorder is None:
             self.recorder = NULL_RECORDER
+        if self.tracer is None:
+            self.tracer = NULL_TRACER
         if self.dtype is not None:
             check_dtype(self.dtype)
 
@@ -178,23 +188,35 @@ class ExecContext:
             tile_cols=(
                 self.tile_cols if self.tile_cols is not None else base.tile_cols
             ),
+            tracer=(
+                self.tracer if self.tracer is not NULL_TRACER else base.tracer
+            ),
         )
 
     def transport(self) -> "ExecContext":
-        """The execution fields only — executor, recorder, chunking —
-        without the dtype/engine policy.  Sub-calls with their own numeric
-        policy (index builds always run float64, an inner index has its own
-        dtype knob) travel on this."""
+        """The execution fields only — executor, recorder, tracer,
+        chunking — without the dtype/engine policy.  Sub-calls with their
+        own numeric policy (index builds always run float64, an inner index
+        has its own dtype knob) travel on this."""
         return ExecContext(
             executor=self.executor,
             n_workers=self.n_workers,
             recorder=self.recorder,
             row_chunk=self.row_chunk,
             tile_cols=self.tile_cols,
+            tracer=self.tracer,
         )
 
     def with_recorder(self, recorder: TraceRecorder) -> "ExecContext":
         return replace(self, recorder=recorder)
+
+    def with_tracer(self, tracer: Tracer) -> "ExecContext":
+        return replace(self, tracer=tracer)
+
+    def span(self, name: str, **attrs):
+        """Open a span on the context's tracer (no-op context manager when
+        tracing is disabled) — the one-liner instrumented code calls."""
+        return self.tracer.span(name, **attrs)
 
     # ------------------------------------------------------- executor scope
     @property
@@ -286,6 +308,7 @@ def resolve_ctx(
     engine: bool | None = None,
     row_chunk: int | None = None,
     tile_cols: int | None = None,
+    tracer: Tracer | None = None,
 ) -> ExecContext:
     """Merge an optional context with legacy keyword arguments.
 
@@ -302,6 +325,7 @@ def resolve_ctx(
         engine=engine,
         row_chunk=row_chunk,
         tile_cols=tile_cols,
+        tracer=tracer if tracer is not None else NULL_TRACER,
     )
     if ctx is None:
         return base

@@ -98,10 +98,17 @@ class RunReport:
     # ---------------------------------------------------------- presentation
     def summary(self) -> str:
         """Human-readable per-phase breakdown (CLI / notebook friendly)."""
-        lines = [
+        header = (
             f"{self.name}: {self.wall_s * 1e3:.2f} ms wall, "
             f"{self.evals} distance evals in {self.n_calls} kernel calls"
-        ]
+        )
+        return "\n".join([header] + self._detail_lines())
+
+    def _detail_lines(self) -> list[str]:
+        """The indented body of :meth:`summary` — everything below the
+        headline, so subclasses can swap in their own header without
+        splicing rendered text."""
+        lines = []
         if self.cache.n_prepared or self.cache.n_hits:
             lines.append(
                 f"  operand cache: {self.cache.n_hits} hits, "
@@ -122,7 +129,7 @@ class RunReport:
             lines.append(f"  {key}: {val}")
         for mname, sim in self.sims.items():
             lines.append(f"  sim[{mname}]: {sim.time_s * 1e3:.3f} ms")
-        return "\n".join(lines)
+        return lines
 
     def to_dict(self) -> dict:
         """JSON-serializable form (results omitted)."""
@@ -152,6 +159,52 @@ class RunReport:
             "sims": {name: sim.time_s for name, sim in self.sims.items()},
         }
 
+    @classmethod
+    def from_dict(cls, d: dict) -> "RunReport":
+        """Rebuild a report from :meth:`to_dict` output (results stay
+        ``None`` — they are not serialized).  ``sims`` entries come back
+        as lightweight stand-ins carrying only ``time_s``, which is all
+        :meth:`sim_time` / ``report[machine]`` ever read."""
+        return cls(
+            name=d.get("name", ""),
+            wall_s=float(d.get("wall_s", 0.0)),
+            evals=int(d.get("evals", 0)),
+            n_calls=int(d.get("n_calls", 0)),
+            flops=float(d.get("flops", 0.0)),
+            bytes=float(d.get("bytes", 0.0)),
+            n_ops=int(d.get("n_ops", 0)),
+            phases={
+                name: PhaseReport(
+                    name,
+                    wall_s=float(p.get("wall_s", 0.0)),
+                    flops=float(p.get("flops", 0.0)),
+                    bytes=float(p.get("bytes", 0.0)),
+                    n_ops=int(p.get("n_ops", 0)),
+                )
+                for name, p in d.get("phases", {}).items()
+            },
+            cache=CacheCounter(**d.get("cache", {})),
+            rule_counts=dict(d.get("rule_counts", {})),
+            sims={
+                name: _SimTime(float(t)) for name, t in d.get("sims", {}).items()
+            },
+            **cls._extra_from_dict(d),
+        )
+
+    @classmethod
+    def _extra_from_dict(cls, d: dict) -> dict:
+        """Subclass hook: extra constructor kwargs pulled from ``d``."""
+        return {}
+
+
+@dataclass(frozen=True)
+class _SimTime:
+    """Deserialized stand-in for a :class:`SimResult`: ``to_dict`` keeps
+    only the modeled seconds, so that is what a round-tripped report's
+    ``sims`` can offer."""
+
+    time_s: float
+
 
 @dataclass
 class LatencyStats:
@@ -169,6 +222,8 @@ class LatencyStats:
         s = np.asarray(samples, dtype=np.float64)
         if s.size == 0:
             return cls()
+        if not np.all(np.isfinite(s)):
+            raise ValueError("latency samples must be finite")
         return cls(
             n=int(s.size),
             mean_s=float(s.mean()),
@@ -188,6 +243,17 @@ class LatencyStats:
             "max_s": self.max_s,
         }
 
+    @classmethod
+    def from_dict(cls, d: dict) -> "LatencyStats":
+        return cls(
+            n=int(d.get("n", 0)),
+            mean_s=float(d.get("mean_s", 0.0)),
+            p50_s=float(d.get("p50_s", 0.0)),
+            p95_s=float(d.get("p95_s", 0.0)),
+            p99_s=float(d.get("p99_s", 0.0)),
+            max_s=float(d.get("max_s", 0.0)),
+        )
+
 
 @dataclass
 class StreamReport(RunReport):
@@ -205,8 +271,13 @@ class StreamReport(RunReport):
     mean_batch: float = 0.0
     max_batch: int = 0
     deadline_flushes: int = 0
+    #: SLO-breach backoffs the micro-batch ladder took during the stream
+    n_backoffs: int = 0
     latency: LatencyStats = field(default_factory=LatencyStats)
     wait: LatencyStats = field(default_factory=LatencyStats)
+    #: :meth:`repro.obs.slo.SLOMonitor.report` of the stream, when a
+    #: monitor was attached (``None`` otherwise)
+    slo: dict | None = None
 
     def summary(self) -> str:
         lines = [
@@ -218,10 +289,17 @@ class StreamReport(RunReport):
             f"max {self.latency.max_s * 1e3:.3f} ms",
             f"  batches: {self.n_batches} "
             f"(mean {self.mean_batch:.1f}, max {self.max_batch}, "
-            f"{self.deadline_flushes} deadline flushes)",
+            f"{self.deadline_flushes} deadline flushes, "
+            f"{self.n_backoffs} backoffs)",
         ]
-        base = RunReport.summary(self)
-        return "\n".join(lines + base.splitlines()[1:])
+        if self.slo:
+            lines.append(
+                f"  slo: target p{self.slo.get('target', 0) * 100:g} "
+                f"<= {self.slo.get('budget_s', 0) * 1e3:.1f} ms, "
+                f"burn {self.slo.get('burn_rate', 0.0):.2f}, "
+                f"{self.slo.get('n_breaches', 0)} breaches"
+            )
+        return "\n".join(lines + self._detail_lines())
 
     def to_dict(self) -> dict:
         d = RunReport.to_dict(self)
@@ -232,10 +310,27 @@ class StreamReport(RunReport):
             mean_batch=self.mean_batch,
             max_batch=self.max_batch,
             deadline_flushes=self.deadline_flushes,
+            n_backoffs=self.n_backoffs,
             latency=self.latency.to_dict(),
             wait=self.wait.to_dict(),
+            slo=self.slo,
         )
         return d
+
+    @classmethod
+    def _extra_from_dict(cls, d: dict) -> dict:
+        return {
+            "n_queries": int(d.get("n_queries", 0)),
+            "throughput_qps": float(d.get("throughput_qps", 0.0)),
+            "n_batches": int(d.get("n_batches", 0)),
+            "mean_batch": float(d.get("mean_batch", 0.0)),
+            "max_batch": int(d.get("max_batch", 0)),
+            "deadline_flushes": int(d.get("deadline_flushes", 0)),
+            "n_backoffs": int(d.get("n_backoffs", 0)),
+            "latency": LatencyStats.from_dict(d.get("latency", {})),
+            "wait": LatencyStats.from_dict(d.get("wait", {})),
+            "slo": d.get("slo"),
+        }
 
 
 def collect_report(

@@ -120,6 +120,7 @@ class QueryBatcher:
         self.n_items = 0
         self.n_deadline_flushes = 0
         self.max_batch_seen = 0
+        self.n_backoffs = 0
 
     # --------------------------------------------------------------- queue
     @property
@@ -134,6 +135,24 @@ class QueryBatcher:
     def target(self) -> int:
         """The batch size the controller currently aims to fill."""
         return self._levels[self._lvl]
+
+    @property
+    def level(self) -> int:
+        """Current ladder index (0 = ``min_batch``)."""
+        return self._lvl
+
+    def backoff(self) -> None:
+        """Drop one ladder level immediately (external pressure signal).
+
+        The hook an :class:`~repro.obs.slo.SLOMonitor` breach callback
+        pulls: when the error budget burns too fast, the batcher stops
+        trusting its throughput estimates and trades batch economies for
+        queueing headroom.  The EWMA rates are kept — the controller may
+        climb back once measurements justify it.
+        """
+        if self._lvl > 0:
+            self._lvl -= 1
+            self.n_backoffs += 1
 
     # ---------------------------------------------------------- controller
     def _level_of(self, size: int) -> int:
@@ -186,16 +205,6 @@ class QueryBatcher:
             self._lvl -= 1
 
     # ------------------------------------------------------------- flushing
-    def _slack(self, now: float) -> float:
-        """Seconds the oldest enqueued query can still afford to wait."""
-        oldest = self._items[0][1]
-        est = self.service_estimate(len(self._items))
-        return (
-            self.policy.max_delay_s
-            - (float(now) - oldest)
-            - self.policy.safety * est
-        )
-
     def ready(self, now: float, *, more_coming: bool = True) -> bool:
         """Whether a batch should dispatch at time ``now``."""
         if not self._items:
@@ -204,7 +213,12 @@ class QueryBatcher:
             return True
         if not more_coming:
             return True
-        return self._slack(now) <= 0.0
+        # the deadline comparison must reuse next_deadline() verbatim: an
+        # event loop sleeps until exactly that time, and computing the
+        # slack with rearranged arithmetic can leave it one ulp positive
+        # at the woken instant — ready() never turns true and the loop
+        # spins forever at a frozen virtual clock
+        return float(now) >= self.next_deadline()
 
     def next_deadline(self) -> float | None:
         """Absolute time at which the deadline rule will force a flush

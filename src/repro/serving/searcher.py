@@ -39,6 +39,9 @@ import numpy as np
 
 from ..metrics.base import VectorMetric
 from ..metrics.engine import rescore_pairs
+from ..obs.collectors import install_index_collectors, install_standard_collectors
+from ..obs.metrics import MetricsRegistry
+from ..obs.slo import SLOMonitor
 from ..runtime.context import ExecContext, TimingRecorder, resolve_ctx
 from ..runtime.report import LatencyStats, StreamReport, collect_report
 from .batcher import BatchPolicy, QueryBatcher
@@ -69,9 +72,26 @@ class StreamingSearcher:
         kernel (see module docstring).  Leave on; turning it off trades
         the bit-identity guarantee for skipping one ``(m, k)`` paired
         pass.
+    slo:
+        optional :class:`~repro.obs.slo.SLOMonitor` fed every served
+        query's sojourn latency; its breach callback is wired to
+        :meth:`~repro.serving.batcher.QueryBatcher.backoff`, so a burning
+        error budget drops the batch ladder one level.
+    metrics:
+        optional :class:`~repro.obs.metrics.MetricsRegistry`; the searcher
+        maintains batcher gauges (ladder level, target, queue depth), a
+        sojourn-latency histogram, and served/batch counters in it, and
+        installs the standard pull-collectors (operand cache, executor
+        pool, packed-list slack).
     query_kwargs:
         extra keyword arguments forwarded to every ``index.query`` call
         (e.g. ``n_probes=2``).
+
+    Span tracing rides the execution context: pass
+    ``ctx=ExecContext(tracer=Tracer())`` and every served query gets a
+    root span, each dispatched micro-batch a ``serve:batch`` span
+    parented under its oldest query, and the kernel/worker spans nest
+    below that — one Chrome-trace timeline from arrival to answer.
 
     Use as a context manager (or call :meth:`close`) so the residency
     pins are released deterministically::
@@ -88,6 +108,8 @@ class StreamingSearcher:
         policy: BatchPolicy | None = None,
         ctx: ExecContext | None = None,
         rescore: bool = True,
+        slo: SLOMonitor | None = None,
+        metrics: MetricsRegistry | None = None,
         **query_kwargs,
     ) -> None:
         getattr(index, "_require_built", lambda: None)()
@@ -105,6 +127,41 @@ class StreamingSearcher:
         self._next_ticket = 0
         #: pruning-rule counters summed over every dispatched micro-batch
         self.rule_counts: dict[str, int] = {}
+        #: ticket -> open root span of a live-submitted query
+        self._qspans: dict = {}
+        self.slo = slo
+        if slo is not None:
+            # late-bound on purpose: search_stream swaps in a per-stream
+            # batcher, and that is the one a breach must back off
+            slo.on_breach(lambda _mon: self.batcher.backoff())
+        self.metrics = metrics
+        #: batcher backoffs already mirrored into the backoff counter
+        self._backoffs_seen = 0
+        if metrics is not None:
+            install_standard_collectors(metrics)
+            install_index_collectors(index, metrics)
+            self._m_served = metrics.counter(
+                "repro_queries_served_total", "queries answered by the searcher"
+            )
+            self._m_batches = metrics.counter(
+                "repro_batches_dispatched_total", "micro-batches dispatched"
+            )
+            self._m_backoffs = metrics.counter(
+                "repro_batcher_backoffs_total", "SLO-driven ladder backoffs"
+            )
+            self._m_level = metrics.gauge(
+                "repro_batcher_ladder_level", "current batch-size ladder index"
+            )
+            self._m_target = metrics.gauge(
+                "repro_batcher_target", "batch size the controller aims to fill"
+            )
+            self._m_depth = metrics.gauge(
+                "repro_batcher_queue_depth", "queries waiting in the batcher"
+            )
+            self._m_sojourn = metrics.histogram(
+                "repro_query_sojourn_seconds",
+                "arrival-to-answer latency of served queries",
+            )
         # residency: fill the in-process prepared caches up front, and pin
         # shared-memory operands for the process backend
         warm = getattr(index, "warm", None)
@@ -155,6 +212,31 @@ class StreamingSearcher:
                 self.rule_counts[key] = self.rule_counts.get(key, 0) + int(val)
         return dist, idx
 
+    def _observe_served(self, sojourns, now: float) -> None:
+        """Per-dispatch telemetry: SLO samples first (a breach may back
+        the ladder off), then the metrics instruments.
+
+        ``sojourns`` are the batch's arrival-to-answer latencies and
+        ``now`` the completion time, both on the caller's clock — wall
+        for the live path, virtual for :meth:`search_stream`.
+        """
+        depth = self.batcher.pending
+        if self.slo is not None:
+            for s in sojourns:
+                self.slo.observe(s, now=now, queue_depth=depth)
+        if self.metrics is not None:
+            self._m_served.inc(len(sojourns))
+            self._m_batches.inc()
+            fresh = self.batcher.n_backoffs - self._backoffs_seen
+            if fresh > 0:
+                self._m_backoffs.inc(fresh)
+            self._backoffs_seen = self.batcher.n_backoffs
+            self._m_level.set(self.batcher.level)
+            self._m_target.set(self.batcher.target)
+            self._m_depth.set(depth)
+            for s in sojourns:
+                self._m_sojourn.observe(s)
+
     def _flush(self, now: float) -> tuple[int, float]:
         """Dispatch the batch due at ``now``; answers land in ``_done``.
 
@@ -166,12 +248,27 @@ class StreamingSearcher:
             return 0, 0.0
         tickets = [t for (t, _q), _arr in items]
         Qb = np.stack([q for (_t, q), _arr in items])
+        tracer = self.ctx.tracer
+        qspans = [self._qspans.pop(t, None) for t in tickets]
+        # the batch span joins the trace of its oldest query, so worker
+        # spans below land under the submitting query's trace id
+        parent = next((s for s in qspans if s is not None), None)
         t0 = time.perf_counter()
-        dist, idx = self._dispatch(Qb)
+        with tracer.span_under(
+            parent.context if parent is not None else None,
+            "serve:batch",
+            size=len(items),
+        ):
+            dist, idx = self._dispatch(Qb)
         service = time.perf_counter() - t0
         self.batcher.observe(len(items), service)
+        done_t = now + service
         for row, ticket in enumerate(tickets):
             self._done[ticket] = (dist[row], idx[row])
+            span = qspans[row]
+            if span is not None:
+                tracer.finish(span.set(batch=len(items)))
+        self._observe_served([done_t - arr for _p, arr in items], done_t)
         return len(items), service
 
     # ------------------------------------------------------------- live API
@@ -187,6 +284,13 @@ class StreamingSearcher:
         ticket = self._next_ticket
         self._next_ticket += 1
         now = time.perf_counter() if now is None else float(now)
+        tracer = self.ctx.tracer
+        if tracer.enabled:
+            # each live query gets a root span; outside any open span this
+            # starts a fresh trace, so one trace = one query's causal tree
+            self._qspans[ticket] = tracer.start_span(
+                "serve:query", ticket=ticket
+            )
         self.batcher.add((ticket, row), now)
         if self.batcher.ready(now):
             self._flush(now)
@@ -216,6 +320,8 @@ class StreamingSearcher:
         arrival_times=None,
         name: str | None = None,
         trace_ops: bool = False,
+        metrics_jsonl=None,
+        snapshot_every_s: float = 1.0,
     ) -> StreamReport:
         """Replay an arrival trace through the server on a virtual clock.
 
@@ -232,6 +338,15 @@ class StreamingSearcher:
         answers), with sojourn/wait percentiles, throughput over the
         stream makespan, batch-shape counters, and the usual counter
         windows.
+
+        Telemetry: the attached :class:`SLOMonitor` (if any) is driven on
+        the virtual clock and its :meth:`~repro.obs.slo.SLOMonitor.report`
+        lands in ``report.slo``; with a metrics registry attached,
+        ``metrics_jsonl`` appends one snapshot line per
+        ``snapshot_every_s`` of *virtual* time (plus a final one at the
+        makespan); a tracer on the context yields one root span per query
+        with each batch (and its kernel/worker spans) under the oldest
+        query it serves.
         """
         self._require_open()
         Qb = np.atleast_2d(np.asarray(Q, dtype=np.float64))
@@ -250,10 +365,13 @@ class StreamingSearcher:
                 raise ValueError("arrival times must be nondecreasing")
 
         batcher = QueryBatcher(self.policy)  # fresh controller per stream
-        recorder = TimingRecorder(trace_ops=trace_ops)
+        tracer = self.ctx.tracer
+        recorder = TimingRecorder(trace_ops=trace_ops, tracer=tracer)
         run_ctx = self.ctx.with_recorder(recorder)
         old_ctx, old_batcher = self.ctx, self.batcher
+        old_backoffs = self._backoffs_seen
         self.ctx, self.batcher = run_ctx, batcher
+        self._backoffs_seen = 0
 
         dist = np.full((m, self.k), np.inf)
         idx = np.full((m, self.k), -1, dtype=np.int64)
@@ -262,6 +380,9 @@ class StreamingSearcher:
         served = deque()
         t0_counts = dict(self.rule_counts)
         self.rule_counts = {}
+        #: row -> open root span of an in-flight query
+        qspans: dict = {}
+        next_snap = float(snapshot_every_s)
 
         try:
             with run_ctx.observe(self.index.metric) as obs:
@@ -275,6 +396,10 @@ class StreamingSearcher:
                         np.inf if deadline is None else deadline,
                     )
                     if next_arr <= flush_at:
+                        if tracer.enabled:
+                            qspans[j] = tracer.start_span(
+                                "serve:query", row=j
+                            )
                         batcher.add((j, Qb[j]), now=next_arr)
                         j += 1
                         now = max(free_at, next_arr)
@@ -283,8 +408,16 @@ class StreamingSearcher:
                     if batcher.ready(now, more_coming=(j < m)):
                         items = batcher.take(now)
                         rows = [payload[0] for payload, _arr in items]
+                        # the batch span (and the kernel/worker spans
+                        # below it) joins the oldest served query's trace
+                        parent = qspans.get(rows[0])
                         t0 = time.perf_counter()
-                        bd, bi = self._dispatch(Qb[rows])
+                        with tracer.span_under(
+                            parent.context if parent is not None else None,
+                            "serve:batch",
+                            size=len(items),
+                        ):
+                            bd, bi = self._dispatch(Qb[rows])
                         service = time.perf_counter() - t0
                         batcher.observe(len(items), service)
                         done_t = now + service
@@ -292,13 +425,37 @@ class StreamingSearcher:
                         for (_row, _q), arr in items:
                             wait[_row] = now - arr
                             sojourn[_row] = done_t - arr
+                            span = qspans.pop(_row, None)
+                            if span is not None:
+                                tracer.finish(
+                                    span.set(
+                                        sojourn_s=sojourn[_row],
+                                        wait_s=wait[_row],
+                                        batch=len(items),
+                                    )
+                                )
                         served.append(done_t)
                         free_at = done_t
+                        self._observe_served(
+                            [sojourn[r] for r in rows], done_t
+                        )
+                        if self.metrics is not None and metrics_jsonl:
+                            while next_snap <= done_t:
+                                self.metrics.dump_jsonl(
+                                    metrics_jsonl, now=next_snap
+                                )
+                                next_snap += float(snapshot_every_s)
                 makespan = max(float(served[-1]) if served else 0.0, 1e-12)
         finally:
             stream_counts = self.rule_counts
             self.ctx, self.batcher = old_ctx, old_batcher
             self.rule_counts = t0_counts
+            self._backoffs_seen = old_backoffs
+
+        if self.metrics is not None and metrics_jsonl:
+            # final snapshot at the makespan, so short streams still leave
+            # at least one line behind
+            self.metrics.dump_jsonl(metrics_jsonl, now=makespan)
 
         report = collect_report(
             name or f"{type(self.index).__name__}:stream",
@@ -316,8 +473,10 @@ class StreamingSearcher:
             mean_batch=batcher.n_items / max(batcher.n_batches, 1),
             max_batch=batcher.max_batch_seen,
             deadline_flushes=batcher.n_deadline_flushes,
+            n_backoffs=batcher.n_backoffs,
             latency=LatencyStats.from_samples(sojourn),
             wait=LatencyStats.from_samples(wait),
+            slo=self.slo.report() if self.slo is not None else None,
         )
         stream.rule_counts = stream_counts
         return stream

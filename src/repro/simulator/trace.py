@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 __all__ = ["Op", "Phase", "Trace", "TraceRecorder", "NULL_RECORDER"]
 
@@ -58,6 +58,11 @@ class Op:
         sequential unit; ops with ``chain=None`` are independent.  This is
         how the models distinguish "parallel across queries, serial within
         a query" from genuinely parallel work.
+    span_id:
+        id of the live :class:`~repro.obs.tracing.Span` that was open when
+        the op was recorded (``None`` when span tracing is off).  Lets a
+        machine-model replay of the trace be joined against the wall-clock
+        span timeline of the same run.
     """
 
     kind: str
@@ -67,6 +72,7 @@ class Op:
     divergence: float = 0.0
     tag: str = ""
     chain: int | None = None
+    span_id: str | None = None
 
     def __post_init__(self) -> None:
         if self.flops < 0 or self.bytes < 0:
@@ -132,6 +138,9 @@ class TraceRecorder:
     """
 
     enabled = True
+    #: optional :class:`~repro.obs.tracing.Tracer` whose current span id is
+    #: stamped onto recorded ops (``None`` skips the lookup entirely)
+    tracer = None
 
     def __init__(self) -> None:
         self.trace = Trace()
@@ -167,6 +176,10 @@ class TraceRecorder:
                     self.trace.phases.append(opened)
 
     def record(self, op: Op) -> None:
+        if self.tracer is not None and op.span_id is None:
+            live = self.tracer.current
+            if live is not None and live.span_id is not None:
+                op = replace(op, span_id=live.span_id)
         current = self._current
         if current is None:
             # op outside any phase gets its own barrier-delimited phase

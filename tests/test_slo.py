@@ -1,0 +1,269 @@
+"""SLO monitor, latency-stats edge cases, and breach-driven batcher backoff.
+
+The monitor is a pure policy object on an explicit clock, so every
+behaviour here — window eviction, burn-rate math, cooldown pacing — is
+tested deterministically with hand-picked timestamps.  The integration
+tests then drive a real :class:`~repro.serving.searcher.StreamingSearcher`
+replay and check the wiring: a tight budget makes the monitor fire and the
+micro-batch ladder back off, and the monitor's percentiles agree exactly
+with the post-hoc :class:`~repro.runtime.report.LatencyStats`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import BruteForceIndex, SLOMonitor, StreamReport
+from repro.runtime.report import LatencyStats, RunReport
+from repro.serving import BatchPolicy, QueryBatcher, StreamingSearcher
+
+
+# --------------------------------------------------------------------------
+# LatencyStats edge cases (satellite: report-layer robustness)
+# --------------------------------------------------------------------------
+class TestLatencyStats:
+    def test_empty_samples_give_zeros(self):
+        s = LatencyStats.from_samples([])
+        assert s.n == 0
+        assert s.mean_s == s.p50_s == s.p95_s == s.p99_s == s.max_s == 0.0
+
+    def test_single_sample_is_every_percentile(self):
+        s = LatencyStats.from_samples([0.25])
+        assert s.n == 1
+        assert s.mean_s == s.p50_s == s.p95_s == s.p99_s == s.max_s == 0.25
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -np.inf])
+    def test_non_finite_samples_rejected(self, bad):
+        with pytest.raises(ValueError, match="finite"):
+            LatencyStats.from_samples([0.1, bad, 0.2])
+
+    def test_matches_numpy_percentiles(self):
+        rng = np.random.default_rng(3)
+        lat = rng.exponential(0.01, size=500)
+        s = LatencyStats.from_samples(lat)
+        assert s.p50_s == float(np.percentile(lat, 50))
+        assert s.p99_s == float(np.percentile(lat, 99))
+        assert s.max_s == float(lat.max())
+
+    def test_dict_round_trip(self):
+        s = LatencyStats.from_samples([0.01, 0.02, 0.5])
+        assert LatencyStats.from_dict(s.to_dict()) == s
+
+
+# --------------------------------------------------------------------------
+# SLOMonitor unit behaviour
+# --------------------------------------------------------------------------
+class TestSLOMonitor:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            SLOMonitor(0.0)
+        with pytest.raises(ValueError):
+            SLOMonitor(0.1, target=1.0)
+        with pytest.raises(ValueError):
+            SLOMonitor(0.1, target=0.0)
+        with pytest.raises(ValueError):
+            SLOMonitor(0.1, window_s=0.0)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -0.5])
+    def test_observe_rejects_bad_latency(self, bad):
+        mon = SLOMonitor(0.1)
+        with pytest.raises(ValueError):
+            mon.observe(bad, now=0.0)
+
+    def test_empty_monitor_reads_zero(self):
+        mon = SLOMonitor(0.1)
+        assert mon.n_window == 0
+        assert mon.p99_s == 0.0
+        assert mon.violation_fraction == 0.0
+        assert mon.burn_rate == 0.0
+
+    def test_violation_fraction_and_burn(self):
+        # 10% violations against a 1% error budget -> burn 10
+        mon = SLOMonitor(0.1, target=0.99, window_s=float("inf"))
+        mon.on_breach(lambda m: None)
+        for i in range(10):
+            mon.observe(0.2 if i == 0 else 0.01, now=float(i))
+        assert mon.n_window == 10
+        assert mon.violation_fraction == pytest.approx(0.1)
+        assert mon.burn_rate == pytest.approx(10.0)
+        assert mon.n_violations_total == 1
+
+    def test_window_eviction_drops_old_violations(self):
+        mon = SLOMonitor(0.1, window_s=5.0)
+        mon.observe(0.5, now=0.0)  # violation, will age out
+        assert mon.violation_fraction == 1.0
+        for t in (10.0, 10.5, 11.0):
+            mon.observe(0.01, now=t)
+        # the t=0 violation is outside [now - 5, now]
+        assert mon.n_window == 3
+        assert mon.violation_fraction == 0.0
+        # lifetime counters are never evicted
+        assert mon.n_observed == 4
+        assert mon.n_violations_total == 1
+
+    def test_breach_callback_fires_with_cooldown(self):
+        fired = []
+        mon = SLOMonitor(
+            0.1, target=0.5, window_s=float("inf"), cooldown_s=2.0
+        )
+        mon.on_breach(lambda m: fired.append(m.burn_rate))
+        # every sample violates: burn 2.0 > threshold 1.0 from the start
+        for i in range(6):
+            mon.observe(0.2, now=float(i))
+        # fires at t=0, 2, 4 — paced by the 2 s cooldown, not once per query
+        assert len(fired) == 3
+        assert mon.n_breaches == 3
+        assert all(b > mon.burn_threshold for b in fired)
+
+    def test_no_breach_below_threshold(self):
+        fired = []
+        mon = SLOMonitor(0.1, target=0.5, window_s=float("inf"))
+        mon.on_breach(lambda m: fired.append(m))
+        for i in range(10):
+            mon.observe(0.01, now=float(i))
+        assert fired == []
+        assert mon.n_breaches == 0
+
+    def test_percentiles_agree_with_latency_stats(self):
+        rng = np.random.default_rng(11)
+        lat = rng.exponential(0.02, size=300)
+        mon = SLOMonitor(0.05, window_s=float("inf"))
+        for i, s in enumerate(lat):
+            mon.observe(float(s), now=float(i))
+        stats = LatencyStats.from_samples(lat)
+        assert mon.p50_s == stats.p50_s
+        assert mon.p95_s == stats.p95_s
+        assert mon.p99_s == stats.p99_s
+
+    def test_report_and_summary(self):
+        mon = SLOMonitor(0.1, window_s=float("inf"))
+        mon.observe(0.05, now=0.0, queue_depth=7)
+        r = mon.report()
+        assert r["n_window"] == 1
+        assert r["queue_depth"] == 7
+        assert r["budget_s"] == 0.1
+        text = mon.summary()
+        assert "p99" in text and "burn" in text and "1 served" in text
+
+
+# --------------------------------------------------------------------------
+# QueryBatcher.backoff — the knob a breach turns
+# --------------------------------------------------------------------------
+class TestBatcherBackoff:
+    def test_backoff_steps_down_ladder(self):
+        b = QueryBatcher(BatchPolicy(min_batch=1, max_batch=16))
+        # climb a few levels by hand
+        b._lvl = 3
+        assert b.level == 3
+        b.backoff()
+        assert b.level == 2
+        assert b.n_backoffs == 1
+        b.backoff()
+        b.backoff()
+        assert b.level == 0
+
+    def test_backoff_floors_at_zero(self):
+        b = QueryBatcher(BatchPolicy(min_batch=1, max_batch=16))
+        b.backoff()
+        b.backoff()
+        assert b.level == 0
+        assert b.n_backoffs == 0  # no-op at the floor is not counted
+
+
+# --------------------------------------------------------------------------
+# Integration: monitor drives the ladder during a replayed stream
+# --------------------------------------------------------------------------
+@pytest.fixture
+def corpus(rng):
+    X = rng.normal(size=(2000, 16)).astype(np.float32)
+    Q = rng.normal(size=(256, 16)).astype(np.float32)
+    return X, Q
+
+
+class TestServingIntegration:
+    def test_breach_backs_off_ladder(self, corpus):
+        X, Q = corpus
+        idx = BruteForceIndex().build(X)
+        # microscopic budget: every query violates, burn explodes, and the
+        # monitor should hammer the ladder back down
+        slo = SLOMonitor(
+            1e-9, window_s=float("inf"), cooldown_s=0.0
+        )
+        srv = StreamingSearcher(
+            idx,
+            k=4,
+            policy=BatchPolicy(max_delay_ms=50.0, max_batch=64),
+            slo=slo,
+        )
+        rep = srv.search_stream(Q, qps=5000.0)
+        assert slo.n_breaches > 0
+        assert rep.n_backoffs > 0
+        assert rep.slo is not None
+        assert rep.slo["n_breaches"] == slo.n_breaches
+        assert f"{rep.n_backoffs} backoffs" in rep.summary()
+
+    def test_slo_report_agrees_with_stream_latency(self, corpus):
+        X, Q = corpus
+        idx = BruteForceIndex().build(X)
+        slo = SLOMonitor(0.05, window_s=float("inf"))
+        srv = StreamingSearcher(idx, k=4, slo=slo)
+        rep = srv.search_stream(Q, qps=2000.0)
+        # the monitor saw every sojourn the report's LatencyStats saw, and
+        # both use np.percentile — agreement is exact
+        assert rep.slo["n_window"] == rep.n_queries == len(Q)
+        assert rep.slo["p50_s"] == rep.latency.p50_s
+        assert rep.slo["p99_s"] == rep.latency.p99_s
+        assert "slo" in rep.summary().lower() or "burn" in rep.summary()
+
+    def test_stream_results_unchanged_by_monitoring(self, corpus):
+        X, Q = corpus
+        idx = BruteForceIndex().build(X)
+        plain = StreamingSearcher(idx, k=3).search_stream(Q, qps=1000.0)
+        slo = SLOMonitor(1e-9, window_s=float("inf"), cooldown_s=0.0)
+        watched = StreamingSearcher(idx, k=3, slo=slo).search_stream(
+            Q, qps=1000.0
+        )
+        np.testing.assert_array_equal(plain.idx, watched.idx)
+        np.testing.assert_allclose(plain.dist, watched.dist)
+
+
+# --------------------------------------------------------------------------
+# Report round-trips (satellite: from_dict + summary splice fix)
+# --------------------------------------------------------------------------
+class TestReportRoundTrip:
+    def test_run_report_round_trip(self, corpus):
+        from repro.eval import traced_query
+
+        X, Q = corpus
+        idx = BruteForceIndex().build(X)
+        rep = traced_query(idx, Q, k=2)
+        d = rep.to_dict()
+        back = RunReport.from_dict(d)
+        assert back.to_dict() == d
+        assert back.name == rep.name
+        assert back.evals == rep.evals
+
+    def test_stream_report_round_trip_keeps_slo(self, corpus):
+        X, Q = corpus
+        idx = BruteForceIndex().build(X)
+        slo = SLOMonitor(0.05, window_s=float("inf"))
+        rep = StreamingSearcher(idx, k=2, slo=slo).search_stream(
+            Q, qps=1000.0
+        )
+        d = rep.to_dict()
+        back = StreamReport.from_dict(d)
+        assert back.to_dict() == d
+        assert back.slo == rep.slo
+        assert back.n_queries == rep.n_queries
+
+    def test_stream_summary_contains_stream_lines(self, corpus):
+        X, Q = corpus
+        idx = BruteForceIndex().build(X)
+        rep = StreamingSearcher(idx, k=2).search_stream(Q, qps=1000.0)
+        text = rep.summary()
+        # the splice used to drop/duplicate lines; check both halves render
+        assert "latency: p50" in text
+        assert "batches:" in text
+        assert "q/s" in text
+        assert text.splitlines()[0].startswith(rep.name)
