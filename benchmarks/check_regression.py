@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import string
 import sys
 from pathlib import Path
 
@@ -36,6 +37,10 @@ TRACKED = {
     "BENCH_serving.json": {
         "serving batched speedup": "speedup",
         "serving batched throughput qps": "batched.throughput_qps",
+    },
+    "BENCH_cluster.json": {
+        "cluster serving scaling 1->4 shards": "scaling",
+        "cluster throughput qps (shards={n_shards})": "nodes[].throughput_qps",
     },
 }
 
@@ -78,7 +83,12 @@ def extract(path: Path, tracked: dict[str, str]) -> dict[str, float]:
         for holder, value in _walk(payload, dotted):
             name = label
             if "{" in label:
-                name = label.format(**{k: holder.get(k) for k in ("dim",)})
+                keys = [
+                    field
+                    for _, field, _, _ in string.Formatter().parse(label)
+                    if field
+                ]
+                name = label.format(**{k: holder.get(k) for k in keys})
             out[name] = float(value)
     return out
 

@@ -31,7 +31,12 @@ from .metrics import available_metrics, get_metric
 from .obs import MetricsRegistry, SLOMonitor, Tracer
 from .parallel import bf_knn, bf_nn, bf_range
 from .runtime import ExecContext, RunReport, StreamReport
-from .serving import BatchPolicy, StreamingSearcher
+from .serving import (
+    BatchPolicy,
+    HedgePolicy,
+    ShardedStreamingSearcher,
+    StreamingSearcher,
+)
 
 __version__ = "1.0.0"
 
@@ -43,10 +48,12 @@ __all__ = [
     "KDTree",
     "ExactRBC",
     "ExecContext",
+    "HedgePolicy",
     "MetricsRegistry",
     "OneShotRBC",
     "RunReport",
     "SLOMonitor",
+    "ShardedStreamingSearcher",
     "StreamingSearcher",
     "StreamReport",
     "Tracer",

@@ -181,7 +181,12 @@ def _cmd_serve_bench(args) -> int:
     from .eval import format_table
     from .obs import SLOMonitor, Tracer
     from .runtime import ExecContext
-    from .serving import BatchPolicy, StreamingSearcher
+    from .serving import (
+        BatchPolicy,
+        HedgePolicy,
+        ShardedStreamingSearcher,
+        StreamingSearcher,
+    )
 
     X, Q = _load_data(args.data, args.scale, n_queries=args.queries)
     if Q is None:
@@ -191,6 +196,8 @@ def _cmd_serve_bench(args) -> int:
     if args.algorithm == "exact":
         index = ExactRBC(seed=args.seed).build(X)
     else:
+        if args.shards > 1:
+            raise SystemExit("--shards requires --algorithm exact")
         index = OneShotRBC(seed=args.seed).build(X)
     ctx = ExecContext(executor=args.backend) if args.backend else None
 
@@ -200,9 +207,22 @@ def _cmd_serve_bench(args) -> int:
         if tracer is not None:
             run_ctx = (ctx or ExecContext()).with_tracer(tracer)
         slo = SLOMonitor(args.max_delay_ms / 1e3, window_s=float("inf"))
-        with StreamingSearcher(
-            index, k=args.k, policy=policy, ctx=run_ctx, slo=slo
-        ) as srv:
+        if args.shards > 1:
+            srv_ = ShardedStreamingSearcher(
+                index,
+                k=args.k,
+                policy=policy,
+                ctx=run_ctx,
+                slo=slo,
+                n_shards=args.shards,
+                replicas=args.replicas,
+                hedge=HedgePolicy() if args.replicas > 1 else None,
+            )
+        else:
+            srv_ = StreamingSearcher(
+                index, k=args.k, policy=policy, ctx=run_ctx, slo=slo
+            )
+        with srv_ as srv:
             return srv.search_stream(Q, qps=args.qps, name=label)
 
     tracer = Tracer() if args.trace else None
@@ -241,6 +261,12 @@ def _cmd_serve_bench(args) -> int:
     )
     speedup = batched.throughput_qps / per_call.throughput_qps
     print(f"\nbatched speedup: {speedup:.1f}x; answers identical: {identical}")
+    if batched.n_shards:
+        print(
+            f"sharded over {batched.n_shards} nodes "
+            f"(x{args.replicas} replicas): {batched.rounds} rounds, "
+            f"{batched.hedges} hedges"
+        )
     if args.json:
         payload = {
             "n": int(X.shape[0]),
@@ -475,6 +501,19 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--qps", type=float, default=2000.0, help="offered load")
     s.add_argument("--max-delay-ms", type=float, default=100.0)
     s.add_argument("--max-batch", type=int, default=256)
+    s.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition the (exact) index over this many simulated "
+        "node shards",
+    )
+    s.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="replica-group size per shard; > 1 enables hedged requests",
+    )
     s.add_argument(
         "--backend",
         choices=["serial", "threads", "processes"],

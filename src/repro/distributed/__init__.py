@@ -9,7 +9,11 @@ sharding, with communication and per-node compute accounted explicitly.
 
 from .cluster import ClusterSpec, CommStats, NetworkSpec
 from .engine import DistributedBruteForce, DistributedRBC, DistRunReport
-from .partition import partition_by_representatives, partition_random
+from .partition import (
+    partition_by_representatives,
+    partition_random,
+    partition_reps_random,
+)
 
 __all__ = [
     "ClusterSpec",
@@ -20,4 +24,5 @@ __all__ = [
     "DistRunReport",
     "partition_by_representatives",
     "partition_random",
+    "partition_reps_random",
 ]

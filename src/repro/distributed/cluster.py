@@ -101,6 +101,42 @@ class CommStats:
     bytes_from_nodes: list[float] = field(default_factory=list)
     messages: int = 0
 
+    @classmethod
+    def zeros(cls, n_nodes: int) -> "CommStats":
+        """An all-zero accumulator for ``n_nodes`` nodes."""
+        return cls([0.0] * n_nodes, [0.0] * n_nodes, 0)
+
     @property
     def total_bytes(self) -> float:
         return sum(self.bytes_to_nodes) + sum(self.bytes_from_nodes)
+
+    @property
+    def active_nodes(self) -> int:
+        """Nodes that moved any traffic in either direction."""
+        return sum(
+            1
+            for to, frm in zip(self.bytes_to_nodes, self.bytes_from_nodes)
+            if to > 0 or frm > 0
+        )
+
+    def add(self, other: "CommStats") -> "CommStats":
+        """Accumulate another operation's traffic in place (the sharded
+        serving path folds one ``CommStats`` per micro-batch into a
+        per-stream total).  Returns ``self``."""
+        if len(other.bytes_to_nodes) != len(self.bytes_to_nodes) or len(
+            other.bytes_from_nodes
+        ) != len(self.bytes_from_nodes):
+            raise ValueError("cannot add CommStats of different node counts")
+        for w, b in enumerate(other.bytes_to_nodes):
+            self.bytes_to_nodes[w] += b
+        for w, b in enumerate(other.bytes_from_nodes):
+            self.bytes_from_nodes[w] += b
+        self.messages += other.messages
+        return self
+
+    def to_dict(self) -> dict:
+        return {
+            "bytes_to_nodes": list(self.bytes_to_nodes),
+            "bytes_from_nodes": list(self.bytes_from_nodes),
+            "messages": int(self.messages),
+        }

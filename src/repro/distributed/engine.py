@@ -205,7 +205,15 @@ class DistributedRBC:
             if run_rec.enabled:
                 _record_dist_tile(run_rec, metric, m, nr, dim, "coord:stage1")
         kk = min(k, nr)
-        gamma = np.partition(D_R, kk - 1, axis=1)[:, kk - 1]
+        # gamma = distance to the k-th nearest representative, an upper
+        # bound on the k-th NN distance.  With fewer representatives than
+        # k no such bound exists — the nr-th rep distance does NOT bound
+        # the k-th neighbor — so pruning is disabled (same guard as
+        # ExactRBC.query) and every list is scanned in full.
+        if nr >= k:
+            gamma = np.partition(D_R, kk - 1, axis=1)[:, kk - 1]
+        else:
+            gamma = np.full(m, np.inf)
 
         keep = (D_R - idx.radii[None, :] < gamma[:, None]) & (
             D_R <= 3.0 * gamma[:, None]
@@ -388,8 +396,12 @@ class DistributedBruteForce:
 
         query_span = tracer.start_span("dist:query", engine="bf", m=m, k=k)
         span_ctx = query_span.context if tracer.enabled else None
-        # broadcast all queries to all nodes
-        bytes_to = [float(m * dim * _FLOAT_BYTES)] * cluster.n_nodes
+        # broadcast all queries to all *storing* nodes: a shard that holds
+        # no points is never contacted and must not be charged traffic
+        bytes_to = [
+            float(m * dim * _FLOAT_BYTES) if shard.size else 0.0
+            for shard in self.shards
+        ]
         node_evals = []
         node_times = []
         partials = []
@@ -419,9 +431,16 @@ class DistributedBruteForce:
                     _record_dist_tile(rec, metric, m, shard.size, dim, "node:scan")
                 node_times.append(simulate(rec.trace, cluster.nodes[w]).time_s)
 
-        bytes_from = [float(m * k * (_FLOAT_BYTES + _ID_BYTES))] * cluster.n_nodes
+        # gather traffic mirrors the scatter: only nodes that actually ran
+        # a scan (``partials`` entry not ``None``) send results back, so
+        # inactive shards contribute zero bytes and zero messages
+        bytes_from = [
+            float(m * k * (_FLOAT_BYTES + _ID_BYTES)) if part is not None else 0.0
+            for part in partials
+        ]
+        n_active = sum(1 for part in partials if part is not None)
         with tracer.span_under(
-            query_span.context, "dist:merge", n_messages=cluster.n_nodes
+            query_span.context, "dist:merge", n_messages=n_active
         ):
             out_d = np.full((m, k), np.inf)
             out_i = np.full((m, k), EMPTY_IDX, dtype=np.int64)
@@ -433,12 +452,12 @@ class DistributedBruteForce:
         self.last_report = DistRunReport(
             n_queries=m,
             node_evals=node_evals,
-            comm=CommStats(bytes_to, bytes_from, 2 * cluster.n_nodes),
+            comm=CommStats(bytes_to, bytes_from, 2 * n_active),
             coordinator_s=0.0,
             scatter_s=cluster.comm_phase_time(bytes_to),
             compute_s=max(node_times) if node_times else 0.0,
             gather_s=cluster.comm_phase_time(bytes_from),
-            merge_s=_merge_time(cluster, m, k, cluster.n_nodes),
+            merge_s=_merge_time(cluster, m, k, n_active),
             node_compute_s=node_times,
         )
         return out_d, out_i

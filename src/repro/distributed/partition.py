@@ -14,7 +14,11 @@ import numpy as np
 
 from ..parallel.scheduler import lpt_assign
 
-__all__ = ["partition_by_representatives", "partition_random"]
+__all__ = [
+    "partition_by_representatives",
+    "partition_random",
+    "partition_reps_random",
+]
 
 
 def partition_by_representatives(
@@ -41,3 +45,17 @@ def partition_random(
         raise ValueError("n_nodes must be >= 1")
     owner = rng.integers(n_nodes, size=n)
     return [np.flatnonzero(owner == w).astype(np.int64) for w in range(n_nodes)]
+
+
+def partition_reps_random(
+    n_reps: int, n_nodes: int, rng: np.random.Generator
+) -> list[list[int]]:
+    """Random *representative* sharding: each representative (with its
+    complete ownership list) to a uniform node — the load-oblivious
+    counterpart of :func:`partition_by_representatives`, useful as a
+    skew baseline for the sharded serving path.  Returns, per node, the
+    representative indices it hosts."""
+    return [
+        [int(j) for j in part]
+        for part in partition_random(n_reps, n_nodes, rng)
+    ]

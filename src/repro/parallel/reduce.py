@@ -149,19 +149,34 @@ def dedupe_rows(
     Needed when candidate sources overlap (one-shot multi-probe lists, or
     exact search's representative seeds vs ownership lists); freed slots
     are refilled with ``inf``/``EMPTY_IDX`` padding at the row tail.
+
+    Fully vectorized — this sits on the per-micro-batch merge path of the
+    sharded streaming searcher.  A duplicate is any id already seen
+    earlier in its row, so on rows sorted ascending by distance the kept
+    copy is the nearest one (and for equal ids the earliest — i.e. the
+    tie at the smaller distance — survives, same as the scan order of the
+    original per-row loop).
     """
-    out_d = np.full((d.shape[0], k), np.inf)
-    out_i = np.full((i.shape[0], k), EMPTY_IDX, dtype=i.dtype)
-    for r in range(d.shape[0]):
-        seen: set[int] = set()
-        c = 0
-        for dist, idx in zip(d[r], i[r]):
-            if idx == EMPTY_IDX or int(idx) in seen:
-                continue
-            seen.add(int(idx))
-            out_d[r, c] = dist
-            out_i[r, c] = idx
-            c += 1
-            if c == k:
-                break
+    m, w = d.shape
+    out_d = np.full((m, k), np.inf)
+    out_i = np.full((m, k), EMPTY_IDX, dtype=i.dtype)
+    if w == 0:
+        return out_d, out_i
+    # a slot is a duplicate iff the same id occurs at an earlier column of
+    # its row: stable-sort each row by id, compare neighbors, scatter the
+    # verdicts back to the original column positions
+    order = np.argsort(i, axis=1, kind="stable")
+    si = np.take_along_axis(i, order, axis=1)
+    dup_sorted = np.zeros((m, w), dtype=bool)
+    dup_sorted[:, 1:] = si[:, 1:] == si[:, :-1]
+    dup = np.zeros((m, w), dtype=bool)
+    np.put_along_axis(dup, order, dup_sorted, axis=1)
+    valid = (i != EMPTY_IDX) & ~dup
+    # compact the survivors left: each keeps its rank among its row's
+    # survivors as the output column, dropping everything past k
+    pos = np.cumsum(valid, axis=1) - 1
+    keep = valid & (pos < k)
+    r, c = np.nonzero(keep)
+    out_d[r, pos[r, c]] = d[r, c]
+    out_i[r, pos[r, c]] = i[r, c]
     return out_d, out_i

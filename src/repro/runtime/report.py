@@ -278,6 +278,16 @@ class StreamReport(RunReport):
     #: :meth:`repro.obs.slo.SLOMonitor.report` of the stream, when a
     #: monitor was attached (``None`` otherwise)
     slo: dict | None = None
+    #: shards the serving index was partitioned over (0 = unsharded)
+    n_shards: int = 0
+    #: scatter-gather communication waves over the stream (one per
+    #: micro-batch, plus one whenever a hedge wave was issued)
+    rounds: int = 0
+    #: straggler tasks re-issued to a replica during the stream
+    hedges: int = 0
+    #: per-shard load breakdown (``None`` when unsharded): one dict per
+    #: shard with tasks / queries / evals / busy_s / hedges and traffic
+    per_shard: list[dict] | None = None
 
     def summary(self) -> str:
         lines = [
@@ -292,6 +302,19 @@ class StreamReport(RunReport):
             f"{self.deadline_flushes} deadline flushes, "
             f"{self.n_backoffs} backoffs)",
         ]
+        if self.n_shards:
+            lines.append(
+                f"  shards: {self.n_shards} "
+                f"({self.rounds} rounds, {self.hedges} hedges)"
+            )
+            for w, row in enumerate(self.per_shard or []):
+                lines.append(
+                    f"    shard {w}: {row.get('tasks', 0)} tasks, "
+                    f"{row.get('queries', 0)} queries, "
+                    f"{row.get('evals', 0)} evals, "
+                    f"{row.get('busy_s', 0.0) * 1e3:.2f} ms busy, "
+                    f"{row.get('hedges', 0)} hedges"
+                )
         if self.slo:
             lines.append(
                 f"  slo: target p{self.slo.get('target', 0) * 100:g} "
@@ -314,6 +337,10 @@ class StreamReport(RunReport):
             latency=self.latency.to_dict(),
             wait=self.wait.to_dict(),
             slo=self.slo,
+            n_shards=self.n_shards,
+            rounds=self.rounds,
+            hedges=self.hedges,
+            per_shard=self.per_shard,
         )
         return d
 
@@ -330,6 +357,10 @@ class StreamReport(RunReport):
             "latency": LatencyStats.from_dict(d.get("latency", {})),
             "wait": LatencyStats.from_dict(d.get("wait", {})),
             "slo": d.get("slo"),
+            "n_shards": int(d.get("n_shards", 0)),
+            "rounds": int(d.get("rounds", 0)),
+            "hedges": int(d.get("hedges", 0)),
+            "per_shard": d.get("per_shard"),
         }
 
 

@@ -15,10 +15,13 @@ latency percentiles and throughput as a
 from .batcher import BatchPolicy, QueryBatcher
 from .residency import DatasetResidency
 from .searcher import StreamingSearcher
+from .sharded import HedgePolicy, ShardedStreamingSearcher
 
 __all__ = [
     "BatchPolicy",
     "QueryBatcher",
     "DatasetResidency",
     "StreamingSearcher",
+    "HedgePolicy",
+    "ShardedStreamingSearcher",
 ]

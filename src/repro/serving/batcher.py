@@ -230,8 +230,21 @@ class QueryBatcher:
         return oldest + self.policy.max_delay_s - self.policy.safety * est
 
     def take(self, now: float) -> list[tuple[object, float]]:
-        """Pop the batch to dispatch: up to ``max_batch`` queued items."""
-        size = min(len(self._items), self.policy.max_batch)
+        """Pop the batch to dispatch: up to the controller's current
+        ``target`` queued items.
+
+        The cap must be the adaptive target, not ``policy.max_batch``:
+        whenever the queue is deeper than the target — exactly the
+        overload regime where an SLO-breach :meth:`backoff` just shrank
+        the ladder — popping ``max_batch`` would silently bypass the
+        controller and dispatch a giant batch anyway.  A deep queue
+        instead drains as several target-sized batches, each feeding the
+        controller a measurement at the size it actually chose.
+        ``target`` never exceeds ``policy.max_batch`` (the ladder is
+        bounded by it), so the hard cap still holds.
+        """
+        limit = max(self.target, self.policy.min_batch)
+        size = min(len(self._items), limit)
         if size == 0:
             return []
         if size < self.target:

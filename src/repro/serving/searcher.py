@@ -212,6 +212,21 @@ class StreamingSearcher:
                 self.rule_counts[key] = self.rule_counts.get(key, 0) + int(val)
         return dist, idx
 
+    def _timed_dispatch(
+        self, Qb: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, float]:
+        """Dispatch one micro-batch and return ``(dist, idx, service_s)``.
+
+        The base searcher's service time is the measured wall time of the
+        ``query()`` call.  Subclasses that *model* service (e.g. the
+        sharded searcher, whose time is the max over shard completions
+        plus communication) override this one method; everything else —
+        batching, the virtual clock, telemetry — is inherited unchanged.
+        """
+        t0 = time.perf_counter()
+        dist, idx = self._dispatch(Qb)
+        return dist, idx, time.perf_counter() - t0
+
     def _observe_served(self, sojourns, now: float) -> None:
         """Per-dispatch telemetry: SLO samples first (a breach may back
         the ladder off), then the metrics instruments.
@@ -253,14 +268,12 @@ class StreamingSearcher:
         # the batch span joins the trace of its oldest query, so worker
         # spans below land under the submitting query's trace id
         parent = next((s for s in qspans if s is not None), None)
-        t0 = time.perf_counter()
         with tracer.span_under(
             parent.context if parent is not None else None,
             "serve:batch",
             size=len(items),
         ):
-            dist, idx = self._dispatch(Qb)
-        service = time.perf_counter() - t0
+            dist, idx, service = self._timed_dispatch(Qb)
         self.batcher.observe(len(items), service)
         done_t = now + service
         for row, ticket in enumerate(tickets):
@@ -296,10 +309,48 @@ class StreamingSearcher:
             self._flush(now)
         return ticket
 
-    def poll(self, ticket: int):
+    def tick(self, now: float | None = None) -> int:
+        """Flush any batch whose latency budget has run out; returns the
+        number of queries served.
+
+        The live path needs this: :meth:`submit` only evaluates the
+        deadline rule at submission time, so with no further arrivals a
+        sub-target batch would wait forever.  A live event loop calls
+        ``tick()`` periodically (or sleeps until :meth:`next_deadline`);
+        the virtual-clock replay advances time itself and never needs it.
+        """
+        self._require_open()
+        now = time.perf_counter() if now is None else float(now)
+        n = 0
+        while self.batcher.ready(now):
+            size, _service = self._flush(now)
+            if size == 0:
+                break
+            n += size
+        return n
+
+    def next_deadline(self) -> float | None:
+        """Absolute time at which the oldest queued query's budget forces
+        a flush (``None`` when nothing is queued) — what a live event
+        loop should sleep until before calling :meth:`tick`."""
+        return self.batcher.next_deadline()
+
+    def poll(self, ticket: int, *, now: float | None = None):
         """The answered ``(dist, idx)`` rows for ``ticket``, or ``None``
-        while it is still queued."""
-        return self._done.pop(ticket, None)
+        while it is still queued.
+
+        Polling also checks the deadline rule: if the queue's budget has
+        expired by ``now`` (wall clock when not given), the due batch is
+        flushed first — so a caller that only ever submits and polls
+        still cannot starve the last sub-target batch.
+        """
+        ans = self._done.pop(ticket, None)
+        if ans is None and not self._closed and self.batcher.pending:
+            now = time.perf_counter() if now is None else float(now)
+            if self.batcher.ready(now):
+                self._flush(now)
+                ans = self._done.pop(ticket, None)
+        return ans
 
     def drain(self) -> dict[int, tuple[np.ndarray, np.ndarray]]:
         """Flush everything queued; returns (and forgets) all answers
@@ -372,6 +423,7 @@ class StreamingSearcher:
         old_backoffs = self._backoffs_seen
         self.ctx, self.batcher = run_ctx, batcher
         self._backoffs_seen = 0
+        self._stream_begin()
 
         dist = np.full((m, self.k), np.inf)
         idx = np.full((m, self.k), -1, dtype=np.int64)
@@ -411,14 +463,12 @@ class StreamingSearcher:
                         # the batch span (and the kernel/worker spans
                         # below it) joins the oldest served query's trace
                         parent = qspans.get(rows[0])
-                        t0 = time.perf_counter()
                         with tracer.span_under(
                             parent.context if parent is not None else None,
                             "serve:batch",
                             size=len(items),
                         ):
-                            bd, bi = self._dispatch(Qb[rows])
-                        service = time.perf_counter() - t0
+                            bd, bi, service = self._timed_dispatch(Qb[rows])
                         batcher.observe(len(items), service)
                         done_t = now + service
                         dist[rows], idx[rows] = bd, bi
@@ -479,4 +529,16 @@ class StreamingSearcher:
             slo=self.slo.report() if self.slo is not None else None,
         )
         stream.rule_counts = stream_counts
+        self._augment_report(stream)
         return stream
+
+    # ------------------------------------------------------ subclass hooks
+    def _stream_begin(self) -> None:
+        """Called by :meth:`search_stream` once the per-stream batcher is
+        installed, before any dispatch; subclasses snapshot per-stream
+        accumulators here."""
+
+    def _augment_report(self, stream: StreamReport) -> None:
+        """Called on the finished :class:`StreamReport` just before
+        :meth:`search_stream` returns; subclasses stamp extra fields
+        (shard counts, hedges, per-shard load) here."""

@@ -168,6 +168,89 @@ def test_single_node_cluster_works(clustered):
     assert results_match_exactly(d, true_d)
 
 
+def test_k_exceeds_shard_point_count(cluster, rng):
+    # every shard holds far fewer points than k: each node's partial
+    # top-k is partly padding, and the merge must still be exact
+    X = rng.normal(size=(40, 5))
+    Q = rng.normal(size=(10, 5))
+    true_d, _ = bf_knn(Q, X, k=12)
+    eng = DistributedRBC(cluster, seed=0).build(X, n_reps=6)
+    d, i = eng.query(Q, k=12)
+    assert results_match_exactly(d, true_d)
+    bf = DistributedBruteForce(cluster, seed=0).build(X)
+    d, i = bf.query(Q, k=12)
+    assert results_match_exactly(d, true_d)
+
+
+def test_k_exceeds_rep_count(cluster, rng):
+    # k > n_reps: the kk-th rep distance does not bound the k-th
+    # neighbor, so pruning must be disabled (gamma = inf), not unsound
+    X = rng.normal(size=(300, 6))
+    Q = rng.normal(size=(12, 6))
+    eng = DistributedRBC(cluster, seed=0).build(X, n_reps=4)
+    d, _ = eng.query(Q, k=9)
+    true_d, _ = bf_knn(Q, X, k=9)
+    assert results_match_exactly(d, true_d)
+
+
+def test_node_with_zero_points(rng):
+    # more nodes than points: some shards are empty, and an empty shard
+    # must neither break correctness nor be charged communication
+    X = rng.normal(size=(3, 4))
+    Q = rng.normal(size=(5, 4))
+    cluster = ClusterSpec.homogeneous(6, DESKTOP_QUAD)
+    bf = DistributedBruteForce(cluster, seed=0).build(X)
+    d, _ = bf.query(Q, k=2)
+    true_d, _ = bf_knn(Q, X, k=2)
+    assert results_match_exactly(d, true_d)
+    comm = bf.last_report.comm
+    for shard, to, frm in zip(
+        bf.shards, comm.bytes_to_nodes, comm.bytes_from_nodes
+    ):
+        assert (shard.size > 0) == (to > 0) == (frm > 0)
+
+    eng = DistributedRBC(cluster, seed=0).build(X, n_reps=2)
+    # at most 3 representatives exist: several nodes host none
+    empty = sum(1 for reps in eng.node_reps if not reps)
+    assert empty >= cluster.n_nodes - eng.index.n_reps >= 3
+    d, _ = eng.query(Q, k=2)
+    assert results_match_exactly(d, true_d)
+
+
+def test_skewed_shards_charge_active_nodes_only(rng):
+    # skewed random sharding (few points, several nodes): CommStats must
+    # agree with the number of shards that actually ran a scan
+    X = rng.normal(size=(7, 4))
+    Q = rng.normal(size=(6, 4))
+    cluster = ClusterSpec.homogeneous(5, DESKTOP_QUAD)
+    bf = DistributedBruteForce(cluster, seed=3).build(X)
+    bf.query(Q, k=1)
+    comm = bf.last_report.comm
+    n_active = sum(1 for s in bf.shards if s.size)
+    assert n_active < cluster.n_nodes  # the seed leaves a shard empty
+    assert comm.active_nodes == n_active
+    assert comm.messages == 2 * n_active
+    dim = X.shape[1]
+    assert sum(comm.bytes_to_nodes) == pytest.approx(
+        n_active * len(Q) * dim * 8.0
+    )
+
+
+def test_single_node_parity_with_exact_rbc(clustered):
+    # DistributedRBC on one node is ExactRBC plus bookkeeping: same
+    # neighbor ids, same distances
+    from repro import ExactRBC
+
+    X, Q = clustered
+    cluster = ClusterSpec.homogeneous(1, DESKTOP_QUAD)
+    eng = DistributedRBC(cluster, seed=0).build(X, n_reps=120)
+    local = ExactRBC(seed=0).build(X, n_reps=120)
+    dd, di = eng.query(Q, k=3)
+    ld, li = local.query(Q, k=3)
+    np.testing.assert_array_equal(di, li)
+    np.testing.assert_allclose(dd, ld, rtol=0, atol=1e-9)
+
+
 def test_query_before_build(cluster):
     with pytest.raises(RuntimeError):
         DistributedRBC(cluster).query(np.zeros((1, 2)))

@@ -83,10 +83,31 @@ def test_batcher_shrinks_when_service_eats_budget():
 
 def test_batcher_take_caps_at_max_batch():
     b = QueryBatcher(BatchPolicy(max_delay_ms=10, max_batch=8))
+    for _ in range(8):  # climb the ladder to the max_batch target
+        b.observe(b.target, 0.001)
+    assert b.target == 8
     for i in range(20):
         b.add(i, now=0.0)
     assert len(b.take(1.0)) == 8
     assert b.pending == 12
+
+
+def test_batcher_take_respects_adaptive_target():
+    # take() must pop the controller's target, not policy.max_batch: a
+    # deep queue right after an SLO backoff is exactly the overload
+    # regime where dispatching max_batch anyway would bypass the ladder
+    b = QueryBatcher(BatchPolicy(max_delay_ms=1000, max_batch=64))
+    for _ in range(12):
+        b.observe(b.target, 0.001)
+    assert b.target == 64
+    b.backoff()
+    assert b.target == 32
+    for i in range(64):
+        b.add(i, now=0.0)
+    items = b.take(0.0)
+    assert len(items) == 32  # not 64
+    assert b.pending == 32
+    assert b.n_deadline_flushes == 0  # a full target batch is not a flush
 
 
 def test_batcher_final_drain_is_ready():
@@ -233,6 +254,37 @@ def test_submit_rejects_batches(served_index):
     with StreamingSearcher(index, k=1) as server:
         with pytest.raises(ValueError, match="one query"):
             server.submit(Q[:3])
+
+
+def test_tick_serves_lone_query_after_budget(served_index):
+    # live-path starvation pin: submit() alone only evaluates the
+    # deadline at submission time, so with no further arrivals a lone
+    # query below the target would wait forever; tick() must flush it
+    # once its latency budget has elapsed
+    index, Q = served_index
+    policy = BatchPolicy(min_batch=4, max_batch=4, max_delay_ms=50)
+    with StreamingSearcher(index, k=2, policy=policy) as server:
+        ticket = server.submit(Q[0], now=0.0)
+        assert server.poll(ticket, now=0.0) is None  # not due yet
+        assert server.tick(now=0.010) == 0  # budget not yet elapsed
+        deadline = server.next_deadline()
+        assert deadline is not None and deadline <= 0.050
+        assert server.tick(now=deadline) == 1
+        d, i = server.poll(ticket)
+        dist, idx = index.query(Q[:1], k=2)
+        np.testing.assert_array_equal(i, idx[0])
+
+
+def test_poll_flushes_past_deadline(served_index):
+    # a submit-then-poll-only caller must not starve the last batch:
+    # poll() checks the deadline rule itself
+    index, Q = served_index
+    policy = BatchPolicy(min_batch=4, max_batch=4, max_delay_ms=50)
+    with StreamingSearcher(index, k=2, policy=policy) as server:
+        ticket = server.submit(Q[0], now=0.0)
+        assert server.poll(ticket, now=0.001) is None
+        answer = server.poll(ticket, now=server.next_deadline())
+        assert answer is not None
 
 
 # ------------------------------------------------------- residency hygiene
