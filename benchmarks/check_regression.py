@@ -42,6 +42,12 @@ TRACKED = {
         "cluster serving scaling 1->4 shards": "scaling",
         "cluster throughput qps (shards={n_shards})": "nodes[].throughput_qps",
     },
+    # labels stay backend-neutral: the CI matrix regenerates the fresh file
+    # on both the numpy and numba legs against one committed baseline
+    "BENCH_quant.json": {
+        "quant kernel speedup": "quant_kernels.speedup",
+        "quant recall before re-rank": "quant_kernels.recall_before_rerank",
+    },
 }
 
 

@@ -168,6 +168,42 @@ def _cmd_compare(args) -> int:
         f"{r.sim_time(AMD_48CORE) * 1e3:9.3f} ms "
         f"({b.sim_time(AMD_48CORE) / r.sim_time(AMD_48CORE):.1f}x faster)"
     )
+    if args.quantize:
+        ctx = ExecContext(engine=True)
+        qidx = ExactRBC(seed=args.seed, quantizer=args.quantize).build(
+            X, n_reps=args.n_reps
+        )
+        qidx.warm(ctx)
+        qr = traced_query(qidx, Q, [AMD_48CORE], k=args.k, ctx=ctx)
+        qsame = bool(
+            r.idx is not None and qr.idx is not None
+            and np.array_equal(r.idx, qr.idx)
+        )
+        info = qr.quant or {}
+        plan = qidx._quant_plan()
+        # bytes one query scans: codes vs the float64 operand it replaces
+        float_bytes = X.shape[0] * X.shape[1] * 8
+        code_bytes = int(info.get("code_bytes", 0))
+        print(
+            f"quantized:   {info.get('quantizer', args.quantize)}"
+            f"/{info.get('strategy', plan.strategy)} "
+            f"({info.get('backend', plan.backend)}) "
+            f"{qr.wall_s * 1e3:9.3f} ms vs rbc {r.wall_s * 1e3:9.3f} ms "
+            f"({r.wall_s / max(qr.wall_s, 1e-12):.1f}x)"
+        )
+        print(
+            f"  ids identical: {qsame}; bytes/scan {code_bytes} vs "
+            f"{float_bytes} float64 "
+            f"({float_bytes / max(code_bytes, 1):.1f}x less moved)"
+        )
+        if "recall_before_rerank" in info:
+            print(
+                f"  recall before re-rank: "
+                f"{info['recall_before_rerank']:.4f} "
+                f"(k'={info.get('k_prime', '?')}, exact after re-rank)"
+            )
+        if args.report:
+            print("\n" + qr.summary())
     if args.report:
         print("\n" + b.summary())
         print("\n" + r.summary())
@@ -489,6 +525,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--report",
         action="store_true",
         help="print the full per-run observability reports",
+    )
+    c.add_argument(
+        "--quantize",
+        nargs="?",
+        const="auto",
+        default=None,
+        choices=["auto", "int8", "float16", "pq"],
+        help="additionally run a quantized exact index and report its "
+        "speedup, bytes moved, and recall before the float64 re-rank "
+        "(answers stay id-identical)",
     )
 
     s = sub.add_parser(

@@ -161,6 +161,19 @@ class ExactRBC(RBCBase):
         Qb = Q if _is_batch(self.metric, Q) else self.metric._as_batch(Q)
         m = self.metric.length(Qb)
         stats.n_queries = m
+
+        qplan = self._quant_plan() if engine else None
+        if qplan is not None and qplan.strategy == "flat":
+            return self._query_quant_flat(Qb, k, qplan, stats, recorder)
+        qop = None
+        Qp_q = None
+        if qplan is not None:
+            # grouped quantized stage 2: the trimmed prefixes are scanned
+            # on the float32 decode cache and every survivor is re-ranked
+            # in float64, so the answer ids match the unquantized path
+            qop = self._quant_operand(qplan.quantizer)
+            Qp_q = self.metric.prepare(Qb, dtype="float32")
+
         Qp = self.metric.prepare(Qb, dtype=dtype) if engine else None
 
         # ---- stage 1: BF(Q, R) with all distances retained
@@ -204,6 +217,8 @@ class ExactRBC(RBCBase):
                 Qp=Qp,
                 k_out=k_out,
                 fp32=fp32,
+                qop=qop,
+                Qp_q=Qp_q,
             )
 
         chunks = row_chunks(m, 256)
@@ -220,8 +235,9 @@ class ExactRBC(RBCBase):
 
         dist = np.concatenate([p[0] for p in parts], axis=0)
         idx = np.concatenate([p[1] for p in parts], axis=0)
-        if fp32:
+        if fp32 and qop is None:
             # exact float64 re-score and re-rank of the float32 candidates
+            # (the quantized path re-ranks inside each chunk already)
             dist, idx = refine_topk(self.metric, Qb, self.X, idx, k)
         for p in parts:
             sub = p[2]
@@ -229,6 +245,59 @@ class ExactRBC(RBCBase):
             stats.pruned_by_3gamma += sub.pruned_by_3gamma
             stats.trimmed_by_4gamma += sub.trimmed_by_4gamma
             stats.candidates_examined += sub.candidates_examined
+        if qop is not None:
+            stats.quant = {
+                "strategy": "grouped",
+                "quantizer": qplan.quantizer,
+                "backend": qplan.backend,
+                "code_bytes": int(qop.code_bytes),
+            }
+        self.last_stats = stats
+        return dist, idx
+
+    def _query_quant_flat(self, Qb, k, plan, stats, recorder):
+        """One certified quantized scan of the live points, replacing both
+        stages (the autotuner's *flat* strategy — chosen when the pruning
+        rules are predicted to keep nearly everything, so the grouped
+        "pruned" scan would be a slower full scan).
+
+        Answers are id-identical to the two-stage exact search: the scan
+        over-fetches ``ck`` candidates per query, certifies the frontier
+        with the per-row residual bound ``|d(q,x) - d(q,x~)| <= d(x,x~)``,
+        and re-ranks every survivor in float64.
+        """
+        from ..metrics.quantize import quant_search
+
+        qop = self._quant_operand(plan.quantizer)
+        n_live = len(qop.codes)
+        dim = self.metric.dim(self.X)
+        m = self.metric.length(Qb)
+        evals0 = self.metric.counter.n_evals
+        with recorder.phase("exact:quant-flat"):
+            dist, idx, info = quant_search(
+                self.metric,
+                np.asarray(Qb),
+                self.X,
+                qop,
+                k,
+                over_fetch=plan.over_fetch,
+                row_chunk=plan.row_chunk,
+                backend=plan.backend,
+            )
+            if recorder.enabled:
+                # the scan streams the code block once per query chunk
+                n_blocks = -(-m // max(1, plan.row_chunk))
+                recorder.record(
+                    Op(
+                        kind="gemm",
+                        flops=2.0 * m * n_live * dim,
+                        bytes=float(qop.code_bytes) * n_blocks,
+                        tag="exact:quant-flat",
+                    )
+                )
+        stats.stage2_evals = self.metric.counter.n_evals - evals0
+        stats.candidates_examined = m * n_live
+        stats.quant = dict(info, strategy="flat", over_fetch=plan.over_fetch)
         self.last_stats = stats
         return dist, idx
 
@@ -308,6 +377,39 @@ class ExactRBC(RBCBase):
         self._prep["rep_positions"] = (owner, pos)
         return owner, pos
 
+    def _estimate_candidate_fraction(self) -> float:
+        """Measured fraction of the database the pruning rules keep,
+        probed on <= 64 database points standing in as queries (k = 1).
+
+        This is the autotuner's flat-vs-grouped input: at low dimension
+        the rules prune hard and the grouped scan wins; past d ~ 32 on
+        i.i.d. data they keep nearly everything and one flat quantized
+        scan is cheaper.  The probe is a single stage-1 block plus the
+        vectorized rule arithmetic — no stage-2 distances — and runs once
+        per index version (the plan is cached in ``_prep``).
+        """
+        self._require_built()
+        probe_m = min(64, self.n)
+        rows = np.random.default_rng(0).choice(
+            self.n, size=probe_m, replace=False
+        )
+        Dp = self.metric.pairwise(
+            self.metric.take(self.X, rows), self.rep_data
+        )
+        gamma = Dp.min(axis=1)
+        keep = (Dp - self.radii[None, :] < gamma[:, None]) & (
+            Dp <= 3.0 * gamma[:, None]
+        )
+        total = 0
+        for j in np.flatnonzero(keep.any(axis=0)):
+            ld = self.list_dists[j]
+            if ld.size == 0:
+                continue
+            r = np.flatnonzero(keep[:, j])
+            cut = np.searchsorted(ld, Dp[r, j] + gamma[r], side="right")
+            total += int(cut.sum())
+        return min(1.0, total / max(1, probe_m * self.n))
+
     def _stage2_chunk(
         self,
         Qb,
@@ -327,6 +429,8 @@ class ExactRBC(RBCBase):
         Qp=None,
         k_out=None,
         fp32=False,
+        qop=None,
+        Qp_q=None,
     ):
         """Batched pruning + grouped stage 2 for queries ``lo..hi``.
 
@@ -416,11 +520,12 @@ class ExactRBC(RBCBase):
         sub.candidates_examined += int(cuts.sum() + np.count_nonzero(~in_parts))
 
         engine = Qp is not None
+        quant = engine and qop is not None
         if engine:
-            Cp = self._prepared_cands(str(Qp.data.dtype))
+            Cp = qop.decoded if quant else self._prepared_cands(str(Qp.data.dtype))
             packed = self._packed
             squared = self.metric.squared_ok
-            itemsize = float(Qp.data.dtype.itemsize)
+            itemsize = 4.0 if quant else float(Qp.data.dtype.itemsize)
             # gamma bounds the k-th NN distance (the k seed representatives
             # are candidates at distance <= gamma), so any scanned candidate
             # beyond it can never enter the final top-k.  The engine path
@@ -466,7 +571,7 @@ class ExactRBC(RBCBase):
                 if engine:
                     plo = int(packed.starts[j])
                     D = self.metric.pairwise_prepared(
-                        Qp.take(lo + rows),
+                        (Qp_q if quant else Qp).take(lo + rows),
                         Cp.slice(plo, plo + prefix_len),
                         squared=squared,
                     )
@@ -489,7 +594,20 @@ class ExactRBC(RBCBase):
                     itemsize=itemsize,
                 )
                 if engine:
-                    mask = D <= thr[rows][:, None]
+                    if quant:
+                        # per-element triangle bound: a candidate with true
+                        # distance <= gamma has decoded-scan distance
+                        # <= gamma + resid, so nothing widened out of this
+                        # mask can belong to the final top-k
+                        bnd = (
+                            g_chunk[rows][:, None]
+                            + qop.resid[plo : plo + prefix_len][None, :]
+                        )
+                        if squared:
+                            bnd = self.metric.to_squared(bnd)
+                        mask = D <= bnd * (1.0 + 1e-4) + 1e-9
+                    else:
+                        mask = D <= thr[rows][:, None]
                     if ragged:
                         # fold the ragged-prefix ownership into the same
                         # mask instead of writing inf padding into D
@@ -544,6 +662,23 @@ class ExactRBC(RBCBase):
                 rank = np.arange(r_s.size) - np.searchsorted(
                     r_s, np.arange(c + 1)
                 )[r_s]
+                if quant:
+                    # approximate scan distances cannot rank the answer:
+                    # keep *every* survivor (the widened bound guarantees
+                    # the true top-k are among them), pad to the widest
+                    # row and re-rank the whole pool in exact float64
+                    counts = np.bincount(r_s, minlength=c)
+                    width = max(int(counts.max()) if counts.size else 0, 1)
+                    padded = np.full((c, width), EMPTY_IDX, dtype=np.int64)
+                    padded[r_s, rank] = g_all[order]
+                    qd, qi = refine_topk(
+                        self.metric,
+                        self.metric.take(Qb, np.arange(lo, hi)),
+                        self.X,
+                        padded,
+                        k,
+                    )
+                    return qd, qi, sub
                 sel = rank < k_out
                 dists[r_s[sel], rank[sel]] = d_all[order][sel]
                 idxs[r_s[sel], rank[sel]] = g_all[order][sel]

@@ -30,6 +30,12 @@ class SearchStats:
     trimmed_by_4gamma: int = 0
     #: candidate points actually examined in stage 2
     candidates_examined: int = 0
+    #: quantized-tier report when the query ran on compressed codes
+    #: (strategy, quantizer, backend, over-fetch bound, recall before the
+    #: float64 re-rank, ...); ``None`` for unquantized queries.  Not part
+    #: of :meth:`rule_counts` — the rule observables stay batching- and
+    #: quantization-invariant.
+    quant: dict | None = None
 
     @property
     def total_evals(self) -> int:

@@ -15,7 +15,15 @@ from .engine import (
     refine_topk,
 )
 from .graph import GraphMetric
+from .jit import HAVE_NUMBA, kernel_backend, set_kernel_backend
 from .mahalanobis import Mahalanobis
+from .quantize import (
+    QUANT_KINDS,
+    QuantizedOperand,
+    quant_search,
+    quantize_prepared,
+    supports_quantization,
+)
 from .lp import (
     Chebyshev,
     Cosine,
@@ -41,6 +49,14 @@ __all__ = [
     "EditDistance",
     "encode_strings",
     "GraphMetric",
+    "HAVE_NUMBA",
+    "kernel_backend",
+    "set_kernel_backend",
+    "QUANT_KINDS",
+    "QuantizedOperand",
+    "quant_search",
+    "quantize_prepared",
+    "supports_quantization",
     "Euclidean",
     "SqEuclidean",
     "Mahalanobis",

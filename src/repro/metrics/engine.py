@@ -209,33 +209,96 @@ class OperandCache:
         with self._lock:
             self._entries.clear()
 
+    def _evict_family(self, token, xid) -> None:
+        """Drop every entry for ``(token, xid)`` — all dtypes and derived
+        quantized variants.  Caller holds the lock.
+
+        A version-stamp miss means the source array changed; the float64
+        parent and everything *derived* from it (float32 coercions, int8 /
+        float16 / PQ codes) are stale together, so the whole family goes
+        at once — a quantized variant can never outlive its parent.
+        """
+        dead = [k for k in self._entries if k[0] == token and k[1] == xid]
+        for k in dead:
+            del self._entries[k]
+            self.stats.add_invalidated()
+
+    def _lookup(self, key, X, version):
+        """Hit / stale handling shared by the dtype and quantized getters.
+
+        Returns the cached value on a hit; ``None`` after evicting the
+        whole ``(token, id)`` family on a stale or dead entry.  Caller
+        holds the lock.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        if entry.ref() is X and entry.version == version:
+            self._entries.move_to_end(key)
+            self.stats.add_hit()
+            return entry.prepared
+        self._evict_family(key[0], key[1])
+        return None
+
+    def _store(self, key, X, version, prepared) -> None:
+        try:
+            ref = weakref.ref(X)
+        except TypeError:  # non-weakrefable duck arrays: don't cache
+            return
+        with self._lock:
+            self._entries[key] = _Entry(ref, version, prepared)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
     def get(self, metric, X: np.ndarray, dtype: str = "float64", version: int = 0):
         """Return the prepared form of ``X``, computing it at most once per
         ``(array, dtype, version)``."""
         check_dtype(dtype)
         key = (metric.cache_token(), id(X), dtype)
         with self._lock:
-            entry = self._entries.get(key)
-            if entry is not None:
-                alive = entry.ref() is X
-                if alive and entry.version == version:
-                    self._entries.move_to_end(key)
-                    self.stats.add_hit()
-                    return entry.prepared
-                del self._entries[key]
-                self.stats.add_invalidated()
+            hit = self._lookup(key, X, version)
+        if hit is not None:
+            return hit
         prepared = metric.prepare(X, dtype=dtype)
         self.stats.add_prepared()
-        try:
-            ref = weakref.ref(X)
-        except TypeError:  # non-weakrefable duck arrays: don't cache
-            return prepared
-        with self._lock:
-            self._entries[key] = _Entry(ref, version, prepared)
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
+        self._store(key, X, version, prepared)
         return prepared
+
+    def get_quantized(
+        self,
+        metric,
+        X: np.ndarray,
+        kind: str,
+        *,
+        version: int = 0,
+        seed: int = 0,
+        ids=None,
+        valid=None,
+    ):
+        """Quantized operand for ``X``, derived from (and version-locked
+        to) the cached float64 parent.
+
+        Cached under ``(metric token, id(X), "quant:<kind>")`` with the
+        same version stamp as the parent, so a stale parent takes every
+        quantized sibling with it (see :meth:`_evict_family`).  ``ids``/
+        ``valid``/``seed`` parameterize the build only — they are
+        functions of the same index version the stamp already tracks.
+        """
+        from .quantize import quantize_prepared
+
+        key = (metric.cache_token(), id(X), f"quant:{kind}")
+        with self._lock:
+            hit = self._lookup(key, X, version)
+        if hit is not None:
+            return hit
+        parent = self.get(metric, X, dtype="float64", version=version)
+        qop = quantize_prepared(
+            metric, parent, kind, seed=seed, ids=ids, valid=valid
+        )
+        self.stats.add_prepared()
+        self._store(key, X, version, qop)
+        return qop
 
 
 #: the process-wide cache used by ``bf_knn``/``bf_range`` and the indexes

@@ -1,0 +1,184 @@
+"""Optional numba JIT backend for the quantized scan kernels.
+
+The numpy fallback in :mod:`repro.metrics.quantize` scans a float32
+*decode cache* — BLAS speed, but it still moves 4 bytes per dimension.
+When numba is importable, the scans here read the 1-byte codes directly:
+
+* ``int8``  — the inner product against the codes with the per-dimension
+  scale folded into the *query* (``q' = q * scale``), so the hot loop is
+  a pure ``float32 x int8`` multiply-accumulate over a 4x smaller
+  operand;
+* ``pq``   — asymmetric distance computation: per query, one 256-entry
+  table per subspace, the scan a table-gather per code byte.
+
+``float16`` stays on the decoded path everywhere (neither numpy BLAS nor
+numba's CPU target runs half-precision kernels worth using).
+
+The backend is chosen by :func:`kernel_backend`: the
+``REPRO_KERNEL_BACKEND`` environment variable (``auto``/``numpy``/
+``numba``) or :func:`set_kernel_backend`, defaulting to numba exactly
+when it imports.  Everything degrades transparently — requesting
+``numba`` without the dependency silently runs the numpy path, so the
+same code (and the same answers: both backends feed the same certified
+re-rank) runs on a bare-numpy install.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = [
+    "HAVE_NUMBA",
+    "kernel_backend",
+    "set_kernel_backend",
+    "scan_codes_block",
+]
+
+try:  # pragma: no cover - exercised on the CI numba matrix leg
+    from numba import njit, prange
+
+    HAVE_NUMBA = True
+except Exception:  # pragma: no cover - the bare-numpy default
+    HAVE_NUMBA = False
+
+    def njit(*args, **kwargs):  # transparent no-op decorator
+        def wrap(fn):
+            return fn
+
+        if args and callable(args[0]):
+            return args[0]
+        return wrap
+
+    def prange(*args):
+        return range(*args)
+
+
+_backend_override: str | None = None
+
+
+def set_kernel_backend(name: str | None) -> None:
+    """Force the scan backend (``"numpy"``/``"numba"``/``None`` = auto).
+
+    A process-wide override for tests and experiments; takes precedence
+    over ``REPRO_KERNEL_BACKEND``.
+    """
+    if name is not None and name not in ("numpy", "numba", "auto"):
+        raise ValueError(
+            f"backend must be 'numpy', 'numba' or 'auto', got {name!r}"
+        )
+    global _backend_override
+    _backend_override = None if name in (None, "auto") else name
+
+
+def kernel_backend(kind: str | None = None) -> str:
+    """The effective scan backend, optionally for a specific code kind.
+
+    ``float16`` always reports ``"numpy"`` (storage-only kind); other
+    kinds report ``"numba"`` iff the import succeeded and neither the
+    override nor ``REPRO_KERNEL_BACKEND`` forces numpy.
+    """
+    if kind == "float16":
+        return "numpy"
+    choice = _backend_override or os.environ.get(
+        "REPRO_KERNEL_BACKEND", "auto"
+    )
+    if choice == "numba":
+        return "numba" if HAVE_NUMBA else "numpy"
+    if choice == "numpy":
+        return "numpy"
+    return "numba" if HAVE_NUMBA else "numpy"
+
+
+# --------------------------------------------------------------- kernels
+@njit(parallel=True, fastmath=True, cache=True)
+def _ip_int8(qs, codes, out):  # pragma: no cover - needs numba
+    """out[i, j] = sum_t qs[i, t] * codes[j, t] (codes int8, qs float32)."""
+    m, d = qs.shape
+    n = codes.shape[0]
+    for j in prange(n):
+        for i in range(m):
+            acc = np.float32(0.0)
+            for t in range(d):
+                acc += qs[i, t] * np.float32(codes[j, t])
+            out[i, j] = acc
+
+
+@njit(parallel=True, fastmath=True, cache=True)
+def _adc_pq(tabs, codes, out):  # pragma: no cover - needs numba
+    """out[i, j] = sum_m tabs[i, m, codes[j, m]] (ADC table gather)."""
+    m = tabs.shape[0]
+    n, n_sub = codes.shape
+    for j in prange(n):
+        for i in range(m):
+            acc = np.float32(0.0)
+            for s in range(n_sub):
+                acc += tabs[i, s, codes[j, s]]
+            out[i, j] = acc
+
+
+def _pq_tables(qop, q32, q2, angular: bool) -> np.ndarray:
+    """Per-query ADC tables ``(m, M, 256)`` in float32.
+
+    For ``gram`` kernels entry ``[i, s, c]`` is the squared distance of
+    query subvector ``s`` to centroid ``c``; summed over subspaces that
+    is the full squared distance to the decoded row.  For ``angular``
+    it is the (negated) partial inner product; the per-row
+    renormalization is applied by the caller via ``inv_norm``.
+    """
+    cb = qop.codebooks  # (M, K, d_sub) float64
+    n_sub, k_cb, d_sub = cb.shape
+    m = len(q32)
+    qsub = q32.astype(np.float64).reshape(m, n_sub, d_sub)
+    if angular:
+        # negated partial IPs: summing gives -q.dec (before renorm)
+        tabs = -np.einsum("msd,skd->msk", qsub, cb)
+    else:
+        tabs = (
+            (qsub**2).sum(axis=2)[:, :, None]
+            - 2.0 * np.einsum("msd,skd->msk", qsub, cb)
+            + (cb**2).sum(axis=2)[None, :, :]
+        )
+    return np.ascontiguousarray(tabs, dtype=np.float32)
+
+
+def scan_codes_block(qop, q32, q2):
+    """One approximate scan block straight off the codes, or ``None``.
+
+    Returns the same score convention as the numpy path (squared
+    distances for ``gram``, negated similarities for ``angular``) so the
+    certified selection downstream is backend-agnostic.  ``None`` means
+    "no JIT kernel for this kind/backend" — the caller falls back to the
+    decoded-cache GEMM.
+    """
+    if not HAVE_NUMBA:
+        return None
+    angular = qop.kernel.startswith("angular")
+    n = len(qop.codes)
+    m = len(q32)
+    out = np.empty((m, n), dtype=np.float32)
+    if qop.kind == "int8":
+        qs = np.ascontiguousarray(q32 * qop.scale[None, :], dtype=np.float32)
+        _ip_int8(qs, qop.codes, out)
+        if angular:
+            out *= qop.inv_norm[None, :]
+            np.negative(out, out)
+        else:
+            # ||q - dec||^2 = q2 - 2 q.dec + ||dec||^2; the kernel holds
+            # q.dec (scale folded into q), finish with the hoisted terms
+            out *= -2.0
+            out += q2[:, None]
+            out += qop.decoded.sqnorms[None, :]
+            np.maximum(out, 0.0, out=out)
+        return out
+    if qop.kind == "pq":
+        tabs = _pq_tables(qop, q32, q2, angular)
+        _adc_pq(tabs, qop.codes, out)
+        if angular:
+            # tables hold -q.dec; flip sign order: S = -(q.dec * inv_norm)
+            out *= qop.inv_norm[None, :]
+        else:
+            np.maximum(out, 0.0, out=out)
+        return out
+    return None  # float16: storage-only, always the decoded path

@@ -219,6 +219,7 @@ def bf_knn(
     dtype: str | None = None,
     x_prepared=None,
     refine: bool = True,
+    quantizer: str | None = None,
     ctx: ExecContext | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """k nearest neighbors of each query by exhaustive search.
@@ -263,6 +264,15 @@ def bf_knn(
     refine:
         float64-refine the result of a ``float32`` search (ignored for
         float64).
+    quantizer:
+        run the scan on compressed codes — ``"int8"``, ``"float16"`` or
+        ``"pq"`` — with a certified float64 re-rank, so the answer ids
+        match the uncompressed search exactly (see
+        :mod:`repro.metrics.quantize`).  ``dtype="int8"`` / ``"float16"``
+        are accepted as sugar for the matching quantizer.  Vector metrics
+        with a ``gram``/``angular`` kernel only; in-process backends only
+        (``executor="processes"`` raises — workers own plain float
+        copies).
     ctx:
         optional :class:`~repro.runtime.context.ExecContext` carrying the
         same execution state as the kwargs above in one object.  Set
@@ -275,6 +285,11 @@ def bf_knn(
         ``(m, k)`` arrays, rows sorted ascending.  When fewer than ``k``
         points are available, trailing slots hold ``inf`` / ``-1``.
     """
+    if dtype in ("int8", "float16") and quantizer is None:
+        # dtype sugar: a code dtype means "scan quantized codes" (the
+        # compute dtype of the certified path is fixed: float32 scan,
+        # float64 re-rank)
+        quantizer, dtype = dtype, None
     ctx = resolve_ctx(
         ctx,
         executor=executor,
@@ -311,6 +326,48 @@ def bf_knn(
         raise ValueError("database is empty")
     dim = metric.dim(X)
     tile_cols = ctx.tile_cols or choose_tile_cols(n, dim)
+
+    if quantizer is not None:
+        from ..metrics.quantize import (
+            check_quantizer,
+            quant_search,
+            supports_quantization,
+        )
+
+        check_quantizer(quantizer)
+        if ctx.uses_processes:
+            raise ValueError(
+                "quantized bf_knn runs in-process (worker processes own "
+                "plain float copies); use executor='threads' or 'serial'"
+            )
+        if not isinstance(metric, VectorMetric) or not supports_quantization(
+            metric
+        ):
+            raise ValueError(
+                f"quantizer= needs a vector metric with a 'gram' or "
+                f"'angular' prepared kernel; {type(metric).__name__} has "
+                f"neither"
+            )
+        if x_prepared is not None:
+            raise ValueError(
+                "x_prepared and quantizer are incompatible: the quantized "
+                "operand is derived from the raw database"
+            )
+        from ..metrics.engine import operand_cache
+
+        Xb = np.ascontiguousarray(np.atleast_2d(np.asarray(X, dtype=np.float64)))
+        qop = operand_cache.get_quantized(metric, Xb, quantizer)
+        with ctx.span("bf:knn", backend="quant", m=m, n=n, k=k,
+                      quantizer=quantizer):
+            dist, idx = quant_search(metric, Qb, Xb, qop, k)[:2]
+        if dist.shape[1] < k:  # fewer live rows than k: pad like the
+            pad = k - dist.shape[1]  # uncompressed path does
+            dist = np.pad(dist, ((0, 0), (0, pad)), constant_values=np.inf)
+            idx = np.pad(idx, ((0, 0), (0, pad)), constant_values=EMPTY_IDX)
+        if ids is not None:
+            mask = idx >= 0
+            idx[mask] = ids[idx[mask]]
+        return dist, idx
 
     if ctx.uses_processes:
         # Worker processes cannot unpickle the chunk closure below, so the
@@ -401,6 +458,19 @@ def bf_knn(
             Qc = metric.take(Qb, np.arange(lo, hi)) if (lo, hi) != (0, m) else Qb
             return _knn_one_chunk(metric, Qc, X, k, tile_cols, recorder, dim, "bf")
 
+    # one preallocated output pair per chunk plan: every task writes its
+    # own row slice in place, so the tail-end concatenate (a full extra
+    # copy of the result, allocated per call) disappears from the thread
+    # and serial backends
+    width = kk if isinstance(metric, VectorMetric) else k
+    out_dtype = (
+        np.float32
+        if isinstance(metric, VectorMetric) and dtype == "float32"
+        else np.float64
+    )  # chunks land in the compute dtype; refinement re-ranks in float64
+    dist = np.full((m, width), np.inf, dtype=out_dtype)
+    idx = np.full((m, width), EMPTY_IDX, dtype=np.int64)
+
     tracer = ctx.tracer
     with tracer.span("bf:knn", m=m, n=n, k=k, dtype=dtype) as bf_span, \
             ctx.executor_scope() as exec_:
@@ -422,13 +492,19 @@ def bf_knn(
                 return task(chunk)
 
         run = task if not tracer.enabled else traced_task
-        if len(chunks) == 1 or isinstance(exec_, SerialExecutor):
-            parts = [run(c) for c in chunks]
-        else:
-            parts = exec_.map(run, chunks)
 
-    dist = np.concatenate([p[0] for p in parts], axis=0)
-    idx = np.concatenate([p[1] for p in parts], axis=0)
+        def run_into(chunk):
+            d, i = run(chunk)
+            lo, hi = chunk
+            dist[lo:hi] = d
+            idx[lo:hi] = i
+
+        if len(chunks) == 1 or isinstance(exec_, SerialExecutor):
+            for c in chunks:
+                run_into(c)
+        else:
+            exec_.map(run_into, chunks)
+
     if isinstance(metric, VectorMetric):
         if squared:
             dist = metric.from_squared(dist)

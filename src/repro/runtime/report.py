@@ -74,6 +74,10 @@ class RunReport:
     cache: CacheCounter = field(default_factory=CacheCounter)
     #: ``SearchStats.rule_counts()`` of the queried index, when available
     rule_counts: dict[str, int] = field(default_factory=dict)
+    #: quantized-tier report (strategy, quantizer, backend, over-fetch
+    #: re-rank bound, recall before re-rank); ``None`` when the run did
+    #: not touch compressed codes
+    quant: dict | None = None
 
     # ------------------------------------------------------------ accessors
     def sim_time(self, machine: MachineSpec) -> float:
@@ -127,6 +131,19 @@ class RunReport:
             lines.append(f"  {name}: " + ", ".join(bits))
         for key, val in self.rule_counts.items():
             lines.append(f"  {key}: {val}")
+        if self.quant:
+            bits = [
+                f"{self.quant.get('quantizer', '?')}"
+                f"/{self.quant.get('strategy', '?')}"
+                f" ({self.quant.get('backend', '?')})"
+            ]
+            if "k_prime" in self.quant:
+                bits.append(f"k'={self.quant['k_prime']}")
+            if "recall_before_rerank" in self.quant:
+                bits.append(
+                    f"recall@rerank {self.quant['recall_before_rerank']:.4f}"
+                )
+            lines.append("  quant: " + ", ".join(bits))
         for mname, sim in self.sims.items():
             lines.append(f"  sim[{mname}]: {sim.time_s * 1e3:.3f} ms")
         return lines
@@ -156,6 +173,7 @@ class RunReport:
                 "n_invalidated": self.cache.n_invalidated,
             },
             "rule_counts": dict(self.rule_counts),
+            "quant": dict(self.quant) if self.quant else None,
             "sims": {name: sim.time_s for name, sim in self.sims.items()},
         }
 
@@ -185,6 +203,7 @@ class RunReport:
             },
             cache=CacheCounter(**d.get("cache", {})),
             rule_counts=dict(d.get("rule_counts", {})),
+            quant=d.get("quant"),
             sims={
                 name: _SimTime(float(t)) for name, t in d.get("sims", {}).items()
             },
@@ -410,4 +429,7 @@ def collect_report(
         n_ops=trace.n_ops if trace is not None else 0,
         cache=obs.cache,
         rule_counts=dict(stats.rule_counts()) if stats is not None else {},
+        quant=dict(stats.quant)
+        if stats is not None and getattr(stats, "quant", None)
+        else None,
     )

@@ -316,8 +316,9 @@ def test_exact_range_query_float32_matches(rng):
 def test_bf_knn_rejects_bad_dtype_and_prepared_with_ids(rng):
     X = rng.normal(size=(50, 3))
     Q = rng.normal(size=(4, 3))
+    # ("int8"/"float16" are now quantizer sugar, so they no longer reject)
     with pytest.raises(ValueError, match="compute dtype"):
-        bf_knn(Q, X, k=2, dtype="int8")
+        bf_knn(Q, X, k=2, dtype="int16")
     metric = Euclidean()
     with pytest.raises(ValueError, match="x_prepared"):
         bf_knn(
