@@ -269,7 +269,10 @@ class ExactRBC(RBCBase):
         from ..metrics.quantize import quant_search
 
         qop = self._quant_operand(plan.quantizer)
-        n_live = len(qop.codes)
+        n_rows = len(qop.codes)  # packed width incl. slack (the GEMM scans it)
+        n_live = (
+            int(qop.valid.sum()) if qop.valid is not None else n_rows
+        )
         dim = self.metric.dim(self.X)
         m = self.metric.length(Qb)
         evals0 = self.metric.counter.n_evals
@@ -290,12 +293,13 @@ class ExactRBC(RBCBase):
                 recorder.record(
                     Op(
                         kind="gemm",
-                        flops=2.0 * m * n_live * dim,
+                        flops=2.0 * m * n_rows * dim,
                         bytes=float(qop.code_bytes) * n_blocks,
                         tag="exact:quant-flat",
                     )
                 )
         stats.stage2_evals = self.metric.counter.n_evals - evals0
+        # live rows only, matching quant_topk's m * n_valid counter credit
         stats.candidates_examined = m * n_live
         stats.quant = dict(info, strategy="flat", over_fetch=plan.over_fetch)
         self.last_stats = stats

@@ -402,7 +402,9 @@ class RBCBase:
             for j in range(packed.n_lists):
                 lo, hi = packed.span(j)
                 valid[lo:hi] = True
-                safe_ids[hi : packed.starts[j + 1]] = 0
+                # slack rows map to -1 (refine_topk's ignored padding id),
+                # never to a real point, should one leak past the masks
+                safe_ids[hi : packed.starts[j + 1]] = -1
             ent = operand_cache.get_quantized(
                 self.metric,
                 gathered,

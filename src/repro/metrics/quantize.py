@@ -395,6 +395,11 @@ def quant_topk(
         S = _scan_block(metric, qop, q32, q2, lo, hi, backend)
         if full:
             order = np.argsort(S, axis=1, kind="stable")[:, :width]
+            if width > n_valid:
+                # the sort tail past the live rows holds +inf slack
+                # columns; leave those slots -1 so the ids mapping cannot
+                # resurrect a packed slack row as a real candidate
+                order[:, n_valid:] = -1
             cand[lo:hi] = order
             approx[lo:hi] = order[:, :k_eff]
             continue

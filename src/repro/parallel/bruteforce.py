@@ -355,11 +355,13 @@ def bf_knn(
             )
         from ..metrics.engine import operand_cache
 
-        Xb = np.ascontiguousarray(np.atleast_2d(np.asarray(X, dtype=np.float64)))
-        qop = operand_cache.get_quantized(metric, Xb, quantizer)
+        # key the cache on the caller's array (quantize_prepared coerces
+        # via the cached float64 parent); a fresh temporary here would
+        # defeat the id()-keyed cache and re-train PQ on every call
+        qop = operand_cache.get_quantized(metric, X, quantizer)
         with ctx.span("bf:knn", backend="quant", m=m, n=n, k=k,
                       quantizer=quantizer):
-            dist, idx = quant_search(metric, Qb, Xb, qop, k)[:2]
+            dist, idx = quant_search(metric, Qb, X, qop, k)[:2]
         if dist.shape[1] < k:  # fewer live rows than k: pad like the
             pad = k - dist.shape[1]  # uncompressed path does
             dist = np.pad(dist, ((0, 0), (0, pad)), constant_values=np.inf)

@@ -14,7 +14,8 @@ the machine, which is exactly what :mod:`repro.simulator` models.
 of :meth:`~repro.simulator.machine.MachineSpec.op_time` — compute time
 vs bytes-over-bandwidth, plus a per-group synchronization term for the
 grouped path — picks the cheaper one, and persists the decision as a
-:class:`KernelPlan` keyed by ``(algo, log2 n, d, kernel, backend)``.
+:class:`KernelPlan` keyed by ``(algo, log2 n, d, kernel, backend,
+cand_frac decile)``.
 The JSON plan cache (``REPRO_AUTOTUNE_CACHE`` or
 ``~/.cache/repro/autotune.json``) survives processes, so a serving
 front-end gets tuned kernels at ``warm()`` without re-deriving anything.
@@ -57,6 +58,7 @@ class KernelPlan:
     backend: str = "numpy"  # scan backend the plan was priced for
     row_chunk: int = 64
     over_fetch: int = 4
+    cand_frac: float = 1.0  # pruning estimate the plan was priced with
     predicted_ms: dict = field(default_factory=dict)  # strategy -> ms/query
 
     def to_dict(self) -> dict:
@@ -229,16 +231,23 @@ class Autotuner:
 
         ``cand_frac`` is the caller's estimate of the fraction of the
         database surviving the pruning rules (``ExactRBC`` probes it
-        cheaply at ``warm()``); it decides the flat-vs-grouped race.
-        Results are memoized per ``(algo, log2 n, d, kernel, backend)``
-        and persisted.
+        cheaply at ``warm()``); it decides the flat-vs-grouped race, so
+        it is part of the memo key (bucketed to deciles — the race is a
+        coarse crossover, and fine-grained keys would shatter the cache).
+        Results are memoized per ``(algo, log2 n, d, kernel, backend,
+        cand_frac decile)`` and persisted.
         """
         if backend is None:
             from ..metrics.jit import kernel_backend
 
             backend = kernel_backend(quantizer)
         n = max(int(n), 1)
-        key = f"{algo}|n{max(n, 2).bit_length() - 1}|d{d}|{kernel}|{backend}"
+        cf = min(max(float(cand_frac), 0.0), 1.0)
+        cf_bucket = int(round(cf * 10.0))
+        key = (
+            f"{algo}|n{max(n, 2).bit_length() - 1}|d{d}|{kernel}|{backend}"
+            f"|cf{cf_bucket}"
+        )
         plans = self._load()
         cached = plans.get(key)
         if cached is not None and (
@@ -255,6 +264,7 @@ class Autotuner:
             backend=backend,
             row_chunk=self._row_chunk(n),
             over_fetch=4,
+            cand_frac=cf,
             predicted_ms={
                 "flat": round(flat_ms, 6), "grouped": round(grouped_ms, 6)
             },

@@ -25,7 +25,7 @@ from repro.metrics import (
     set_kernel_backend,
     supports_quantization,
 )
-from repro.metrics.quantize import bound_filter, check_quantizer
+from repro.metrics.quantize import bound_filter, check_quantizer, quant_topk
 from repro.parallel import bf_knn
 from repro.runtime import Autotuner, RunReport
 
@@ -193,6 +193,53 @@ def test_exact_rbc_quant_survives_insert_delete(rng):
     assert_same_answers(ed, ei, d, np.searchsorted(live_ids, i))
 
 
+def test_quant_topk_full_branch_excludes_slack(rng):
+    """When the over-fetch width covers every live row (full branch), the
+    selection must not leak packed slack columns: their ids would map to
+    whatever sentinel the slack entries hold (historically a clipped 0,
+    i.e. a *real* point id)."""
+    X = rng.normal(size=(12, 4))
+    met = get_metric("euclidean")
+    valid = np.ones(12, dtype=bool)
+    valid[8:] = False
+    ids = np.arange(12, dtype=np.int64)
+    ids[8:] = 0  # adversarial slack ids: a leak would surface as id 0
+    qop = quantize_prepared(met, met.prepare(X), "int8", ids=ids, valid=valid)
+    gids, fallback, _ = quant_topk(met, X[:3], qop, k=6)  # width >= 8 live
+    assert not fallback
+    for row in gids:
+        kept = row[row >= 0]
+        assert len(kept) == 8  # exactly the live rows, nothing more
+        assert sorted(kept) == list(range(8))
+
+
+def test_exact_rbc_quant_flat_full_overfetch_after_delete(rng):
+    """Deletions leave slack rows in the packed layout; with k large
+    enough that the flat scan's over-fetch width covers every live row,
+    answers must stay id-identical to brute force over the live points —
+    no duplicated ids, no tombstoned ids (the historical failure returned
+    global id 0 in multiple slots after id 0 itself was deleted)."""
+    X = rng.normal(size=(60, 5))
+    quant = ExactRBC(seed=0, quantizer="int8", quant_strategy="flat").build(
+        X, n_reps=8
+    )
+    deleted = [0, 3, 7, 11, 19, 23, 31, 37, 42, 45, 48, 51, 54, 57, 59]
+    for gid in deleted:
+        quant.delete(gid)
+    live_ids = np.setdiff1d(np.arange(60), deleted)
+    Q = rng.normal(size=(8, 5))
+    # k=12 -> width = 4*12+1 = 49 > 45 live rows: the full branch runs
+    d, i = quant.query(Q, k=12)
+    assert not np.isin(i, deleted).any()
+    for row in i:
+        kept = row[row >= 0]
+        assert len(np.unique(kept)) == len(kept)
+    ed, ei = reference_knn(Q, X[live_ids], 12)
+    assert_same_answers(ed, ei, d, np.searchsorted(live_ids, i))
+    # work accounting counts live rows only, matching the metric counter
+    assert quant.last_stats.candidates_examined == len(Q) * len(live_ids)
+
+
 def test_warm_builds_quant_operand(rng):
     X = rng.normal(size=(400, 8))
     idx = ExactRBC(seed=0, quantizer="int8").build(X, n_reps=20)
@@ -241,6 +288,21 @@ def test_bf_knn_quantizer_with_ids(small_vectors, rng):
     ed, ei = bf_knn(Q, X, k=3, ids=ids)
     d, i = bf_knn(Q, X, k=3, ids=ids, quantizer="float16")
     assert_same_answers(ed, ei, d, i)
+
+
+def test_bf_knn_quantizer_operand_cache_is_stable(rng):
+    """The quantized operand must be cached under the caller's array —
+    an internal coerced temporary would change id() every call, so each
+    query batch would re-quantize (and re-train PQ) from scratch."""
+    from repro.metrics.engine import operand_cache
+
+    met = get_metric("euclidean")
+    X = rng.normal(size=(80, 6))
+    Q = rng.normal(size=(5, 6))
+    bf_knn(Q, X, k=3, quantizer="int8")
+    hits0 = operand_cache.stats.n_hits
+    assert operand_cache.get_quantized(met, X, "int8") is not None
+    assert operand_cache.stats.n_hits == hits0 + 1  # keyed on X itself
 
 
 def test_bf_knn_quantizer_rejects_processes(small_vectors):
@@ -327,6 +389,22 @@ def test_autotuner_prefers_flat_on_compressed_full_scans():
         cand_frac=1.0,
     )
     assert plan.strategy == "flat"
+
+
+def test_autotuner_cand_frac_is_part_of_plan_key():
+    """Two same-shaped workloads with different pruning behavior must not
+    share a cached plan: the first dataset tuned at a shape used to lock
+    its flat/grouped pick in for every later dataset at that shape."""
+    t = Autotuner(persist=False)
+    g = t.plan_for("exactrbc", 1 << 16, 32, backend="numpy", cand_frac=0.01)
+    f = t.plan_for("exactrbc", 1 << 16, 32, backend="numpy", cand_frac=1.0)
+    assert g.strategy == "grouped"
+    assert f.strategy == "flat"
+    assert g.cand_frac == 0.01 and f.cand_frac == 1.0
+    # and near-identical fractions still share one memoized plan
+    assert t.plan_for(
+        "exactrbc", 1 << 16, 32, backend="numpy", cand_frac=0.99
+    ) is f
 
 
 def test_autotuner_row_chunk_clamped():
