@@ -48,6 +48,14 @@ TRACKED = {
         "quant kernel speedup": "quant_kernels.speedup",
         "quant recall before re-rank": "quant_kernels.recall_before_rerank",
     },
+    # mixed-workload routing: p99 kept far under the exact backend while
+    # the SLO stays met and the quality ladder's per-rung recall holds
+    "BENCH_router.json": {
+        "router p99 speedup vs exact": "mixed.p99_speedup_vs_exact",
+        "router mixed slo compliance": "mixed.slo_compliance",
+        "router exact recall": "exact.recall",
+        "router degraded recall (rung={rung})": "rungs[].recall",
+    },
 }
 
 

@@ -1,0 +1,252 @@
+"""The SLO-driven router vs every fixed backend on a mixed workload.
+
+Two experiments, one BENCH payload:
+
+1. **cost grid** — per-backend build time and per-query wall time over a
+   small ``(n, d, k)`` grid, the raw material of the router's cost
+   model;
+2. **mixed workload** — a shuffled sequence of batches with varying size
+   and k, served under one per-batch latency budget.  The router plans
+   each batch (degrading to cheaper rungs when the exact RBC would blow
+   the budget) while each fixed backend runs the identical sequence.
+
+Required: exact-mode (no budget) router answers identical to brute force
+(recall 1.0); on the mixed workload the router must meet the latency
+budget at p99 while beating every *budget-compliant* fixed backend on
+recall — and beating the exact backend's p99 by a wide margin (the
+router's whole point: exact answers when affordable, graceful recall
+loss instead of blown budgets when not).  Every degradation rung reports
+its recall so the quality ladder is trackable across PRs.  Results go to
+``BENCH_router.json`` at the repo root (CI artifact + regression-gate
+input).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import numpy as np
+from conftest import bench_once
+
+from repro.eval import format_table, recall_at_k
+from repro.index import Router, create_index
+from repro.parallel import bf_knn
+
+BENCH_JSON = pathlib.Path(__file__).resolve().parents[1] / "BENCH_router.json"
+
+#: mixed-workload config
+N, DIM = 20_000, 16
+#: (batch size, k) classes, shuffled into one arrival sequence
+BATCH_CLASSES = [(8, 1), (32, 5), (128, 5), (384, 10)]
+N_BATCHES = 24
+#: noise headroom for the p99 comparison on shared runners
+P99_NOISE = 1.25
+
+GRID_NS = (2_000, 8_000)
+GRID_DIM = 8
+GRID_KS = (1, 8)
+GRID_BACKENDS = ("brute", "rbc-exact", "rbc-oneshot", "rpforest")
+GRID_QUERIES = 64
+
+
+def _workload(rng, X):
+    """The shuffled mixed batch sequence (size, k, queries).
+
+    Queries are perturbed database points — the near-manifold regime the
+    RBC's probabilistic variants are built for (far-off uniform noise
+    would make every approximate rung look uniformly bad).
+    """
+    classes = [BATCH_CLASSES[i % len(BATCH_CLASSES)] for i in range(N_BATCHES)]
+    rng.shuffle(classes)
+    out = []
+    for m, k in classes:
+        Q = X[rng.choice(X.shape[0], size=m, replace=False)]
+        out.append((m, k, Q + 0.25 * rng.normal(size=Q.shape)))
+    return out
+
+
+def _run_workload(query_fn, workload, X):
+    """Serve every batch; per-query latency samples + workload recall."""
+    lat, hits, total = [], 0, 0
+    for m, k, Q in workload:
+        t0 = time.perf_counter()
+        _, idx = query_fn(Q, k)
+        wall = time.perf_counter() - t0
+        lat.extend([wall] * m)  # each query's sojourn = its batch's wall
+        _, true_idx = bf_knn(Q, X, k=k)
+        hits += recall_at_k(idx, true_idx) * m * k
+        total += m * k
+    return np.asarray(lat), hits / total
+
+
+def test_cost_grid(rng, report, out_dir):
+    cases = []
+    for n in GRID_NS:
+        X = rng.normal(size=(n, GRID_DIM))
+        Q = rng.normal(size=(GRID_QUERIES, GRID_DIM))
+        for name in GRID_BACKENDS:
+            idx = create_index(name, lenient=True, seed=0)
+            t0 = time.perf_counter()
+            idx.build(X)
+            build_s = time.perf_counter() - t0
+            for k in GRID_KS:
+                idx.query(Q[:4], k=k)  # warm
+                t0 = time.perf_counter()
+                idx.query(Q, k=k)
+                per_q = (time.perf_counter() - t0) / GRID_QUERIES
+                cases.append(
+                    {
+                        "backend": name,
+                        "n": n,
+                        "d": GRID_DIM,
+                        "k": k,
+                        "build_s": round(build_s, 6),
+                        "query_per_q_us": round(per_q * 1e6, 3),
+                    }
+                )
+    rows = [
+        [c["backend"], c["n"], c["k"], c["build_s"], c["query_per_q_us"]]
+        for c in cases
+    ]
+    report(
+        "router_grid",
+        format_table(
+            ["backend", "n", "k", "build s", "query us/q"],
+            rows,
+            title=f"per-backend cost grid (d={GRID_DIM})",
+        ),
+    )
+    _merge_bench({"grid": {"cases": cases}})
+    assert len(cases) == len(GRID_NS) * len(GRID_BACKENDS) * len(GRID_KS)
+
+
+def test_router_mixed_workload(rng, report, benchmark, out_dir):
+    X = rng.normal(size=(N, DIM))
+    router = Router(seed=0).build(X)
+
+    # ---- exact mode: no budget, rung 0 — answers must match brute force
+    Qe = rng.normal(size=(64, DIM))
+    d, i = router.query(Qe, k=5)
+    _, true_i = bf_knn(Qe, X, k=5)
+    exact_recall = recall_at_k(i, true_i)
+    assert exact_recall == 1.0, "router exact mode must have recall 1.0"
+
+    # ---- per-rung recall: the quality ladder, one rung at a time
+    rungs = []
+    for r in range(len(router.ladder)):
+        router.restore()
+        for _ in range(r):
+            router.degrade()
+        d, i = router.query(Qe, k=5)
+        rungs.append(
+            {
+                "rung": r,
+                "backend": router.last_decision.backend,
+                "recall": round(recall_at_k(i, true_i), 4),
+            }
+        )
+    router.restore()
+    assert rungs[0]["recall"] == 1.0
+    # every rung (even the deliberately under-provisioned last one) must
+    # return something real, and quality may only fall down the ladder
+    assert all(r["recall"] > 0.0 for r in rungs), rungs
+    recalls = [r["recall"] for r in rungs]
+    assert recalls[0] == max(recalls) and recalls[-1] == min(recalls), rungs
+
+    # ---- mixed workload under one per-batch latency budget: roughly the
+    # modeled cost of a mid-size exact batch, so small batches run exact
+    # and the heaviest ones must degrade
+    budget = router.predict_cost_s("rbc-exact", 96, 5)
+    workload = _workload(rng, X)
+
+    def run_router():
+        router.restore()
+        return _run_workload(
+            lambda Q, k: router.query(Q, k=k, latency_budget_s=budget),
+            workload,
+            X,
+        )
+
+    router_lat, router_recall = bench_once(benchmark, run_router)
+    routed = dict(router.route_counts())
+
+    singles = []
+    for name in router.ladder:
+        backend = router.backend(name)
+        lat, rec = _run_workload(lambda Q, k: backend.query(Q, k=k), workload, X)
+        singles.append(
+            {
+                "backend": name,
+                "p99_ms": round(float(np.percentile(lat, 99)) * 1e3, 4),
+                "recall": round(rec, 4),
+            }
+        )
+
+    router_p99 = float(np.percentile(router_lat, 99))
+    exact_p99 = next(
+        s["p99_ms"] for s in singles if s["backend"] == "rbc-exact"
+    ) / 1e3
+    compliance = float(np.mean(router_lat <= budget))
+
+    rows = [["router", router_p99 * 1e3, router_recall]] + [
+        [s["backend"], s["p99_ms"], s["recall"]] for s in singles
+    ]
+    report(
+        "router_mixed",
+        format_table(
+            ["strategy", "p99 ms", "recall"],
+            rows,
+            title=(
+                f"mixed workload (n={N}, d={DIM}, {N_BATCHES} batches, "
+                f"budget {budget * 1e3:.2f} ms) — routed: {routed}"
+            ),
+        ),
+    )
+    _merge_bench(
+        {
+            "exact": {"recall": round(exact_recall, 4)},
+            "rungs": rungs,
+            "mixed": {
+                "budget_ms": round(budget * 1e3, 4),
+                "router_p99_ms": round(router_p99 * 1e3, 4),
+                "router_recall": round(router_recall, 4),
+                "route_counts": routed,
+                "singles": singles,
+                "slo_compliance": round(compliance, 4),
+                "p99_speedup_vs_exact": round(exact_p99 / router_p99, 4),
+            },
+        }
+    )
+
+    # the router must itself meet the SLO at p99 ...
+    assert router_p99 <= budget * P99_NOISE, (
+        f"router p99 {router_p99 * 1e3:.3f} ms over budget "
+        f"{budget * 1e3:.3f} ms"
+    )
+    # ... far below the exact backend (which blows the budget on the
+    # heavy batch classes) ...
+    assert router_p99 <= exact_p99, (
+        f"router p99 {router_p99 * 1e3:.3f} ms vs exact "
+        f"{exact_p99 * 1e3:.3f} ms"
+    )
+    # ... while beating every single backend that also meets the budget
+    compliant = [
+        s for s in singles if s["p99_ms"] / 1e3 <= budget * P99_NOISE
+    ]
+    if compliant:
+        best_compliant = max(s["recall"] for s in compliant)
+        assert router_recall >= best_compliant - 0.02, (
+            f"router recall {router_recall:.3f} vs best budget-compliant "
+            f"single {best_compliant:.3f}"
+        )
+
+
+def _merge_bench(update: dict) -> None:
+    """The two tests fill one BENCH payload; merge instead of clobbering."""
+    payload = {}
+    if BENCH_JSON.exists():
+        payload = json.loads(BENCH_JSON.read_text())
+    payload.update(update)
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")

@@ -27,6 +27,17 @@ paper-vs-measured record of every table and figure.
 
 from .baselines import BallTree, BruteForceIndex, CoverTree, KDTree
 from .core import ExactRBC, OneShotRBC, oneshot_params, standard_n_reps
+from .index import (
+    BufferKDTree,
+    Capabilities,
+    Index,
+    RPForest,
+    Router,
+    UnsupportedCapability,
+    available_indexes,
+    capabilities_of,
+    create_index,
+)
 from .metrics import available_metrics, get_metric
 from .obs import MetricsRegistry, SLOMonitor, Tracer
 from .parallel import bf_knn, bf_nn, bf_range
@@ -44,8 +55,17 @@ __all__ = [
     "BallTree",
     "BatchPolicy",
     "BruteForceIndex",
+    "BufferKDTree",
+    "Capabilities",
     "CoverTree",
+    "Index",
     "KDTree",
+    "RPForest",
+    "Router",
+    "UnsupportedCapability",
+    "available_indexes",
+    "capabilities_of",
+    "create_index",
     "ExactRBC",
     "ExecContext",
     "HedgePolicy",

@@ -23,7 +23,7 @@ from ..metrics import get_metric
 from ..metrics.base import Metric
 from ..runtime.context import ExecContext, resolve_ctx
 from ..simulator.trace import NULL_RECORDER, Op, TraceRecorder
-from .base import Index
+from .base import Capabilities, Index
 
 __all__ = ["AESA"]
 
@@ -34,6 +34,12 @@ _MAX_POINTS = 20_000
 class AESA(Index):
     """Approximating and Eliminating Search Algorithm — exact k-NN with
     near-minimal distance evaluations and quadratic memory."""
+
+    CAPS = Capabilities(
+        exact=True,
+        process_safe=False,
+        rescorable=True,
+    )
 
     def __init__(self, metric: str | Metric = "euclidean") -> None:
         self.metric = get_metric(metric)
@@ -148,3 +154,9 @@ class AESA(Index):
             np.array([t[0] for t in top]),
             np.array([t[1] for t in top], dtype=np.int64),
         )
+
+    def memory_footprint(self) -> int:
+        """The full pairwise matrix — AESA's defining quadratic cost."""
+        if self.D is None:
+            raise RuntimeError("call build(X) first")
+        return int(self.D.nbytes)

@@ -22,7 +22,7 @@ from ..metrics import get_metric
 from ..metrics.base import Metric
 from ..runtime.context import ExecContext, resolve_ctx
 from ..simulator.trace import NULL_RECORDER, Op, TraceRecorder
-from .base import Index
+from .base import Capabilities, Index
 
 __all__ = ["BallTree"]
 
@@ -40,6 +40,12 @@ class _Node:
 
 class BallTree(Index):
     """Two-pivot metric ball tree with best-first exact k-NN queries."""
+
+    CAPS = Capabilities(
+        exact=True,
+        process_safe=False,
+        rescorable=True,
+    )
 
     def __init__(
         self,
@@ -216,3 +222,23 @@ class BallTree(Index):
             np.array([p[0] for p in pairs]),
             np.array([p[1] for p in pairs], dtype=np.int64),
         )
+
+    def memory_footprint(self) -> int:
+        """Bytes for the tree: leaf id arrays plus per-node overhead
+        (pivot id, radius, child slots)."""
+        if self.root is None:
+            raise RuntimeError("call build(X) first")
+        total = 0
+
+        def go(node: _Node) -> None:
+            nonlocal total
+            total += 64
+            if node.ids is not None:
+                total += node.ids.nbytes
+            if node.left is not None:
+                go(node.left)
+            if node.right is not None:
+                go(node.right)
+
+        go(self.root)
+        return int(total)

@@ -1,47 +1,13 @@
-"""Common interface for all search indexes (RBC and baselines)."""
+"""Common interface for all search indexes (RBC and baselines).
+
+The formal protocol now lives in :mod:`repro.index.protocol` (``build /
+query / range_query / memory_footprint / capabilities``); this module
+re-exports it so existing ``from repro.baselines.base import Index``
+imports keep working.
+"""
 
 from __future__ import annotations
 
-import numpy as np
+from ..index.protocol import Capabilities, Index, UnsupportedCapability
 
-from ..runtime.context import ExecContext
-from ..simulator.trace import NULL_RECORDER, TraceRecorder
-
-__all__ = ["Index"]
-
-
-class Index:
-    """Protocol shared by every index: ``build(X)`` then ``query(Q, k)``.
-
-    ``query`` returns ``(dist, idx)`` arrays of shape ``(m, k)`` with rows
-    sorted ascending by distance, padded with ``inf`` / ``-1`` when fewer
-    than ``k`` results exist.  All implementations count their distance
-    evaluations in ``self.metric.counter`` and can record operation traces
-    for the machine models.
-
-    Both methods accept an :class:`~repro.runtime.context.ExecContext`
-    carrying the recorder (and, where the index parallelizes, the executor
-    and kernel policy) in one object; the ``recorder=`` kwarg remains as a
-    thin adapter over it, with set ``ctx`` fields taking precedence.
-    """
-
-    metric = None
-
-    def build(
-        self,
-        X,
-        *,
-        recorder: TraceRecorder = NULL_RECORDER,
-        ctx: ExecContext | None = None,
-    ) -> "Index":
-        raise NotImplementedError
-
-    def query(
-        self,
-        Q,
-        k: int = 1,
-        *,
-        recorder: TraceRecorder = NULL_RECORDER,
-        ctx: ExecContext | None = None,
-    ) -> tuple[np.ndarray, np.ndarray]:
-        raise NotImplementedError
+__all__ = ["Capabilities", "Index", "UnsupportedCapability"]

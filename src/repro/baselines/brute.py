@@ -17,13 +17,21 @@ from ..metrics.base import Metric
 from ..parallel.bruteforce import bf_knn, bf_range
 from ..runtime.context import ExecContext, resolve_ctx
 from ..simulator.trace import NULL_RECORDER, TraceRecorder
-from .base import Index
+from .base import Capabilities, Index
 
 __all__ = ["BruteForceIndex"]
 
 
 class BruteForceIndex(Index):
     """Exhaustive k-NN: one ``BF(Q, X)`` call per query batch."""
+
+    CAPS = Capabilities(
+        exact=True,
+        range_queries=True,
+        mutable=False,
+        process_safe=True,
+        rescorable=True,
+    )
 
     def __init__(
         self,
@@ -82,3 +90,15 @@ class BruteForceIndex(Index):
         return bf_range(
             Q, self.X, eps, self.metric, ctx=resolve_ctx(ctx, recorder=recorder)
         )
+
+    def memory_footprint(self) -> int:
+        """Brute force stores nothing beyond the caller's database; the
+        accounted bytes are the stored reference's payload (so the metrics
+        registry can still compare resident set across backends)."""
+        if self.X is None:
+            raise RuntimeError("call build(X) first")
+        if isinstance(self.X, np.ndarray):
+            return int(self.X.nbytes)
+        import sys
+
+        return int(sum(sys.getsizeof(x) for x in self.X))

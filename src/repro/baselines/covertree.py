@@ -26,7 +26,7 @@ from ..metrics import get_metric
 from ..metrics.base import Metric
 from ..runtime.context import ExecContext, resolve_ctx
 from ..simulator.trace import NULL_RECORDER, Op, TraceRecorder
-from .base import Index
+from .base import Capabilities, Index
 
 __all__ = ["CoverTree"]
 
@@ -56,6 +56,12 @@ class CoverTree(Index):
         expansion base of the level radii (``covdist = base**level``);
         the classical choice is 2.
     """
+
+    CAPS = Capabilities(
+        exact=True,
+        process_safe=False,
+        rescorable=True,
+    )
 
     def __init__(self, metric: str | Metric = "euclidean", *, base: float = 2.0):
         if base <= 1.0:
@@ -249,6 +255,22 @@ class CoverTree(Index):
             return 1 + max((go(c) for c in node.children), default=0)
 
         return go(self.root)
+
+    def memory_footprint(self) -> int:
+        """Bytes for the tree: one node per point (id, level, maxdist,
+        children list) — the cover tree's linear-space guarantee."""
+        if self.root is None:
+            raise RuntimeError("call build(X) first")
+        total = 0
+
+        def go(node: _Node) -> None:
+            nonlocal total
+            total += 80 + 8 * len(node.children)
+            for child in node.children:
+                go(child)
+
+        go(self.root)
+        return int(total)
 
 
 def _descendants(node: _Node) -> list[int]:

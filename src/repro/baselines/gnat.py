@@ -27,7 +27,7 @@ from ..metrics import get_metric
 from ..metrics.base import Metric
 from ..runtime.context import ExecContext, resolve_ctx
 from ..simulator.trace import NULL_RECORDER, Op, TraceRecorder
-from .base import Index
+from .base import Capabilities, Index
 
 __all__ = ["GNAT"]
 
@@ -45,6 +45,12 @@ class _Node:
 
 class GNAT(Index):
     """Geometric Near-neighbor Access Tree with exact k-NN queries."""
+
+    CAPS = Capabilities(
+        exact=True,
+        process_safe=False,
+        rescorable=True,
+    )
 
     def __init__(
         self,
@@ -273,3 +279,25 @@ class GNAT(Index):
             return 1 + max(go(c) for c in node.children)
 
         return go(self.root) if self.root is not None else 0
+
+    def memory_footprint(self) -> int:
+        """Bytes for the tree: split ids, the per-node range tables
+        (the dominant term), leaf id arrays, and per-node overhead."""
+        if self.root is None:
+            raise RuntimeError("call build(X) first")
+        total = 0
+
+        def go(node: _Node) -> None:
+            nonlocal total
+            total += 64
+            if node.split_ids is not None:
+                total += node.split_ids.nbytes
+            if node.ranges is not None:
+                total += node.ranges.nbytes
+            if node.leaf_ids is not None:
+                total += node.leaf_ids.nbytes
+            for child in node.children:
+                go(child)
+
+        go(self.root)
+        return int(total)

@@ -21,11 +21,14 @@ from ..metrics import Chebyshev, Euclidean, Manhattan, get_metric
 from ..metrics.base import Metric
 from ..runtime.context import ExecContext, resolve_ctx
 from ..simulator.trace import NULL_RECORDER, Op, TraceRecorder
-from .base import Index
+from .base import Capabilities, Index
 
 __all__ = ["KDTree"]
 
 _SUPPORTED = (Euclidean, Manhattan, Chebyshev)
+
+#: approximate per-node Python object overhead charged by memory_footprint
+_NODE_BYTES = 64
 
 
 class _Split:
@@ -47,6 +50,12 @@ class _Leaf:
 
 class KDTree(Index):
     """Median-split kd-tree with branch-and-bound k-NN queries."""
+
+    CAPS = Capabilities(
+        exact=True,
+        process_safe=False,
+        rescorable=True,
+    )
 
     def __init__(
         self, metric: str | Metric = "euclidean", *, leaf_size: int = 32
@@ -203,3 +212,22 @@ class KDTree(Index):
             return 1 + max(go(node.left), go(node.right))
 
         return go(self.root) if self.root is not None else 0
+
+    def memory_footprint(self) -> int:
+        """Bytes for the tree: leaf id arrays plus per-node object
+        overhead (axis/threshold/child slots, ~``_NODE_BYTES`` each)."""
+        if self.root is None:
+            raise RuntimeError("call build(X) first")
+        total = 0
+
+        def go(node) -> None:
+            nonlocal total
+            if isinstance(node, _Leaf):
+                total += node.ids.nbytes + _NODE_BYTES
+                return
+            total += _NODE_BYTES
+            go(node.left)
+            go(node.right)
+
+        go(self.root)
+        return int(total)

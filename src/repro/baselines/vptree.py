@@ -21,7 +21,7 @@ from ..metrics import get_metric
 from ..metrics.base import Metric
 from ..runtime.context import ExecContext, resolve_ctx
 from ..simulator.trace import NULL_RECORDER, Op, TraceRecorder
-from .base import Index
+from .base import Capabilities, Index
 
 __all__ = ["VPTree"]
 
@@ -42,6 +42,12 @@ class _Node:
 
 class VPTree(Index):
     """Median-split vantage-point tree with exact k-NN queries."""
+
+    CAPS = Capabilities(
+        exact=True,
+        process_safe=False,
+        rescorable=True,
+    )
 
     def __init__(
         self,
@@ -226,3 +232,23 @@ class VPTree(Index):
             return 1 + max(go(node.inner), go(node.outer))
 
         return go(self.root) if self.root is not None else 0
+
+    def memory_footprint(self) -> int:
+        """Bytes for the tree: leaf id arrays plus per-node overhead
+        (vantage id, threshold, band bounds, child slots)."""
+        if self.root is None:
+            raise RuntimeError("call build(X) first")
+        total = 0
+
+        def go(node) -> None:
+            nonlocal total
+            if node is None:
+                return
+            total += 88
+            if node.ids is not None:
+                total += node.ids.nbytes
+            go(node.inner)
+            go(node.outer)
+
+        go(self.root)
+        return int(total)

@@ -140,9 +140,12 @@ def _cmd_dim(args) -> int:
 
 
 def _cmd_compare(args) -> int:
+    import inspect
+
     from .baselines import BruteForceIndex
     from .core import ExactRBC
     from .eval import traced_query
+    from .index import create_index
     from .runtime import ExecContext
     from .simulator import AMD_48CORE
 
@@ -156,18 +159,42 @@ def _cmd_compare(args) -> int:
     b = traced_query(
         brute, Q, [AMD_48CORE], k=args.k, ctx=ExecContext(tile_cols=2048)
     )
-    rbc = ExactRBC(seed=args.seed).build(X, n_reps=args.n_reps)
+    name = args.index
+    rbc = create_index(name, lenient=True, metric="euclidean", seed=args.seed)
+    if "n_reps" in inspect.signature(rbc.build).parameters:
+        rbc.build(X, n_reps=args.n_reps)
+    else:
+        rbc.build(X)
     r = traced_query(rbc, Q, [AMD_48CORE], k=args.k, ctx=ExecContext())
+    caps = rbc.capabilities()
     same = bool(np.allclose(b.dist, r.dist, atol=1e-6))
     print(f"database {X.shape[0]} x {X.shape[1]}, {Q.shape[0]} queries, k={args.k}")
-    print(f"answers identical: {same}")
-    print(f"work:        brute {b.evals:>12d} evals | rbc {r.evals:>12d} "
-          f"({b.evals / r.evals:.1f}x less)")
+    if caps.exact:
+        print(f"answers identical: {same}")
+    else:
+        hits = sum(
+            len(set(r.idx[t]) & set(b.idx[t])) for t in range(Q.shape[0])
+        )
+        recall = hits / float(Q.shape[0] * args.k)
+        print(f"{name} is approximate: recall@{args.k} = {recall:.4f}")
+    print(f"work:        brute {b.evals:>12d} evals | {name} {r.evals:>12d} "
+          f"({b.evals / max(r.evals, 1):.1f}x less)")
     print(
-        f"48-core sim: brute {b.sim_time(AMD_48CORE) * 1e3:9.3f} ms | rbc "
+        f"48-core sim: brute {b.sim_time(AMD_48CORE) * 1e3:9.3f} ms | {name} "
         f"{r.sim_time(AMD_48CORE) * 1e3:9.3f} ms "
-        f"({b.sim_time(AMD_48CORE) / r.sim_time(AMD_48CORE):.1f}x faster)"
+        f"({b.sim_time(AMD_48CORE) / max(r.sim_time(AMD_48CORE), 1e-12):.1f}x faster)"
     )
+    decision = getattr(rbc, "last_decision", None)
+    if decision is not None:
+        print(
+            f"routed to:   {decision.backend} (rung {decision.rung}, "
+            f"c_est {decision.c_est:.2f}, predicted "
+            f"{decision.predicted_s * 1e3:.3f} ms, measured "
+            f"{decision.measured_s * 1e3:.3f} ms)"
+        )
+    if args.quantize and name not in ("rbc-exact", "exact"):
+        print("(--quantize applies to --index rbc-exact only; skipping)")
+        args.quantize = None
     if args.quantize:
         ctx = ExecContext(engine=True)
         qidx = ExactRBC(seed=args.seed, quantizer=args.quantize).build(
@@ -229,7 +256,20 @@ def _cmd_serve_bench(args) -> int:
         rng = np.random.default_rng(args.seed)
         take = rng.choice(X.shape[0], size=args.queries, replace=False)
         Q = X[take]
-    if args.algorithm == "exact":
+    if args.index:
+        from .index import create_index
+
+        index = create_index(
+            args.index, lenient=True, metric="euclidean", seed=args.seed
+        )
+        index.build(X)
+        if args.shards > 1 and not (
+            hasattr(index, "shard_target") or hasattr(index, "lists")
+        ):
+            raise SystemExit(
+                "--shards requires an RBC-backed index (rbc-exact or router)"
+            )
+    elif args.algorithm == "exact":
         index = ExactRBC(seed=args.seed).build(X)
     else:
         if args.shards > 1:
@@ -238,6 +278,11 @@ def _cmd_serve_bench(args) -> int:
     ctx = ExecContext(executor=args.backend) if args.backend else None
 
     def run(max_batch: int, label: str, tracer: Tracer | None = None):
+        restore = getattr(index, "restore", None)
+        if callable(restore):
+            # each serving run starts at the router's best-quality rung;
+            # SLO breaches during the run may walk it down the ladder
+            restore()
         policy = BatchPolicy(max_delay_ms=args.max_delay_ms, max_batch=max_batch)
         run_ctx = ctx
         if tracer is not None:
@@ -297,6 +342,14 @@ def _cmd_serve_bench(args) -> int:
     )
     speedup = batched.throughput_qps / per_call.throughput_qps
     print(f"\nbatched speedup: {speedup:.1f}x; answers identical: {identical}")
+    route_counts = getattr(index, "route_counts", None)
+    if callable(route_counts):
+        counts = route_counts()
+        rung = getattr(index, "rung", 0)
+        print(
+            f"router: final rung {rung}, batches per backend {counts}"
+            + ("" if identical else "\n  (differing answers mean SLO breaches degraded one run's rung)")
+        )
     if batched.n_shards:
         print(
             f"sharded over {batched.n_shards} nodes "
@@ -514,8 +567,16 @@ def build_parser() -> argparse.ArgumentParser:
     d.add_argument("--scale", type=float, default=0.01)
     d.add_argument("--seed", type=int, default=0)
 
-    c = sub.add_parser("compare", help="exact RBC vs brute force, one command")
+    c = sub.add_parser(
+        "compare", help="a registered index vs brute force, one command"
+    )
     c.add_argument("data", help="dataset name or .npy path")
+    c.add_argument(
+        "--index",
+        default="rbc-exact",
+        help="registered backend to compare against brute force "
+        "(see `repro.index.available_indexes()`; 'router' picks per batch)",
+    )
     c.add_argument("-k", type=int, default=1)
     c.add_argument("--queries", type=int, default=200)
     c.add_argument("--n-reps", type=int, default=None)
@@ -544,6 +605,12 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("-k", type=int, default=1)
     s.add_argument("--queries", type=int, default=512)
     s.add_argument("--algorithm", choices=["exact", "oneshot"], default="exact")
+    s.add_argument(
+        "--index",
+        default=None,
+        help="serve a registered backend by name instead of --algorithm "
+        "('router' serves with the SLO degradation ladder armed)",
+    )
     s.add_argument("--qps", type=float, default=2000.0, help="offered load")
     s.add_argument("--max-delay-ms", type=float, default=100.0)
     s.add_argument("--max-batch", type=int, default=256)

@@ -72,6 +72,8 @@ class ExactRBC(RBCBase):
     True
     """
 
+    CAPS = RBCBase.CAPS.replace(range_queries=True)
+
     def build(
         self,
         X,
@@ -161,6 +163,12 @@ class ExactRBC(RBCBase):
         Qb = Q if _is_batch(self.metric, Q) else self.metric._as_batch(Q)
         m = self.metric.length(Qb)
         stats.n_queries = m
+        if m == 0:
+            self.last_stats = stats
+            return (
+                np.full((0, k), np.inf),
+                np.full((0, k), EMPTY_IDX, dtype=np.int64),
+            )
 
         qplan = self._quant_plan() if engine else None
         if qplan is not None and qplan.strategy == "flat":

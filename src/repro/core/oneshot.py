@@ -51,6 +51,8 @@ class OneShotRBC(RBCBase):
     (5, 1)
     """
 
+    CAPS = RBCBase.CAPS.replace(exact=False)
+
     def build(
         self,
         X,

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..index.protocol import Capabilities, Index
 from ..metrics import get_metric
 from ..metrics.base import Metric
 from ..metrics.engine import check_dtype, operand_cache
@@ -66,7 +67,7 @@ def sample_representatives(
     raise ValueError(f"unknown sampling scheme {scheme!r}")
 
 
-class RBCBase:
+class RBCBase(Index):
     """State and helpers shared by the two RBC search structures.
 
     Parameters
@@ -237,6 +238,26 @@ class RBCBase:
         self._bump_version()
 
     # ------------------------------------------------------- kernel engine
+    #: refined per-structure by the subclasses (one-shot is approximate,
+    #: exact supports range queries); ``quantizable``/``rescorable`` are
+    #: resolved against the configured metric in :meth:`capabilities`.
+    CAPS = Capabilities(
+        exact=True,
+        range_queries=False,
+        mutable=True,
+        process_safe=True,
+        quantizable=True,
+        rescorable=True,
+        warmable=True,
+    )
+
+    def capabilities(self) -> Capabilities:
+        return self.CAPS.replace(
+            quantizable=self.CAPS.quantizable
+            and supports_quantization(self.metric),
+            rescorable=self.CAPS.rescorable and self._rescorable_now(),
+        )
+
     def _bump_version(self) -> None:
         """Invalidate every prepared operand derived from the index state."""
         self._version += 1

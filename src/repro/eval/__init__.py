@@ -6,6 +6,7 @@ from .harness import (
     QueryRun,
     format_table,
     geomean,
+    run_backend,
     streamed_query,
     traced_build,
     traced_query,
@@ -20,6 +21,7 @@ __all__ = [
     "StreamReport",
     "format_table",
     "geomean",
+    "run_backend",
     "streamed_query",
     "traced_build",
     "traced_query",

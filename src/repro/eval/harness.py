@@ -30,6 +30,7 @@ __all__ = [
     "traced_query",
     "traced_build",
     "streamed_query",
+    "run_backend",
     "format_table",
     "geomean",
 ]
@@ -186,3 +187,56 @@ def format_table(headers: list[str], rows: list[list], *, title: str = "") -> st
     for row in cells:
         lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def run_backend(
+    name: str,
+    X,
+    Q,
+    machines: list[MachineSpec] = (),
+    *,
+    k: int = 1,
+    ctx: ExecContext | None = None,
+    trace_ops: bool = True,
+    build_kwargs: dict | None = None,
+    observe: bool = True,
+    **init_kwargs,
+) -> tuple[RunReport, RunReport]:
+    """Build and query a *registered* backend by name, fully traced.
+
+    The registry-facing composition of :func:`traced_build` +
+    :func:`traced_query`: ``init_kwargs`` reach the backend constructor
+    (unsupported ones are dropped, so one uniform kwarg set works across
+    backends), ``build_kwargs`` reach ``build``.  Returns
+    ``(build_report, query_report)``, both named ``<backend>:<phase>``.
+
+    With ``observe=True`` and a router backend, the query report is fed
+    back into the router's cost model (``observe_report``) — the eval
+    harness and the serving path then share one latency history.
+    """
+    from ..index import create_index
+
+    index = create_index(name, lenient=True, **init_kwargs)
+    build_report = traced_build(
+        index,
+        X,
+        machines,
+        name=f"{name}:build",
+        ctx=ctx,
+        trace_ops=trace_ops,
+        **(build_kwargs or {}),
+    )
+    query_report = traced_query(
+        index,
+        Q,
+        machines,
+        k=k,
+        name=f"{name}:query",
+        ctx=ctx,
+        trace_ops=trace_ops,
+    )
+    if observe:
+        ingest = getattr(index, "observe_report", None)
+        if callable(ingest):
+            ingest(name, query_report)
+    return build_report, query_report

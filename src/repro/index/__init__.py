@@ -1,0 +1,49 @@
+"""repro.index — the formal :class:`Index` protocol, backend registry, and
+capability-aware query router.
+
+Every search structure in the repo (RBC exact/one-shot, brute force, the
+metric-tree baselines, and the batched buffer k-d tree / random projection
+forest added here) implements one protocol::
+
+    build(X, ...) -> self
+    query(Q, k) -> (dist, idx)        # (m, k), inf/-1 padded, ascending
+    range_query(Q, eps) -> [(d, i)]   # or raises UnsupportedCapability
+    memory_footprint() -> int         # approximate bytes held
+    capabilities() -> Capabilities    # declared, machine-readable
+
+Backends are name-keyed in :mod:`repro.index.registry` and the
+:class:`~repro.index.router.Router` composes them into a single servable
+index with an SLO-driven degradation ladder.
+"""
+
+from .bufferkd import BufferKDTree
+from .protocol import Capabilities, Index, UnsupportedCapability, capabilities_for
+from .registry import (
+    available_indexes,
+    capabilities_of,
+    create_index,
+    index_class,
+    register_index,
+    supported_kwargs,
+    unregister_index,
+)
+from .router import RouteDecision, Router
+from .rpforest import RPForest
+
+__all__ = [
+    "BufferKDTree",
+    "Capabilities",
+    "Index",
+    "RPForest",
+    "RouteDecision",
+    "Router",
+    "UnsupportedCapability",
+    "available_indexes",
+    "capabilities_for",
+    "capabilities_of",
+    "create_index",
+    "index_class",
+    "register_index",
+    "supported_kwargs",
+    "unregister_index",
+]

@@ -1,0 +1,176 @@
+"""Name-keyed backend registry.
+
+Every servable index is registered here under a stable name with a dotted
+path to its class; classes are imported lazily on first use so the
+registry itself stays import-cheap and cycle-free.  Declared capabilities
+come from the class-level :attr:`~repro.index.protocol.Index.CAPS`
+constant, so the registry can answer "which backends support range
+queries?" without instantiating anything.
+
+    >>> from repro.index import available_indexes, create_index
+    >>> sorted(available_indexes())[:3]
+    ['aesa', 'balltree', 'brute']
+    >>> idx = create_index("rpforest", metric="euclidean", seed=0)
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from importlib import import_module
+
+from .protocol import Capabilities, Index
+
+__all__ = [
+    "BackendSpec",
+    "available_indexes",
+    "capabilities_of",
+    "create_index",
+    "index_class",
+    "register_index",
+    "supported_kwargs",
+    "unregister_index",
+]
+
+
+@dataclass
+class BackendSpec:
+    """One registry entry: where the class lives and what it declares."""
+
+    name: str
+    module: str
+    qualname: str
+    description: str = ""
+    _cls: type | None = field(default=None, repr=False)
+
+    def load(self) -> type:
+        if self._cls is None:
+            self._cls = getattr(import_module(self.module), self.qualname)
+        return self._cls
+
+
+_REGISTRY: dict[str, BackendSpec] = {}
+_ALIASES: dict[str, str] = {}
+
+
+def register_index(
+    name: str,
+    module_or_cls,
+    qualname: str | None = None,
+    *,
+    description: str = "",
+    aliases: tuple[str, ...] = (),
+    overwrite: bool = False,
+) -> None:
+    """Register a backend under ``name``.
+
+    ``module_or_cls`` is either a dotted module path (with ``qualname``
+    naming the class inside it, imported lazily) or a class object.
+    """
+    if name in _REGISTRY and not overwrite:
+        raise ValueError(f"index backend {name!r} is already registered")
+    if isinstance(module_or_cls, str):
+        if qualname is None:
+            raise ValueError("qualname is required with a dotted module path")
+        spec = BackendSpec(name, module_or_cls, qualname, description)
+    else:
+        cls = module_or_cls
+        spec = BackendSpec(name, cls.__module__, cls.__qualname__, description, _cls=cls)
+    _REGISTRY[name] = spec
+    for alias in aliases:
+        _ALIASES[alias] = name
+
+
+def unregister_index(name: str) -> None:
+    _REGISTRY.pop(_resolve(name), None)
+    for alias, target in list(_ALIASES.items()):
+        if target == name or alias == name:
+            del _ALIASES[alias]
+
+
+def _resolve(name: str) -> str:
+    name = _ALIASES.get(name, name)
+    if name not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown index backend {name!r}; registered: {known}")
+    return name
+
+
+def available_indexes() -> list[str]:
+    """Registered backend names (aliases excluded), sorted."""
+    return sorted(_REGISTRY)
+
+
+def index_class(name: str) -> type:
+    """The class registered under ``name`` (imports it if needed)."""
+    return _REGISTRY[_resolve(name)].load()
+
+
+def capabilities_of(name: str) -> Capabilities:
+    """The class-level declared capabilities of backend ``name``."""
+    return index_class(name).CAPS
+
+
+def describe(name: str) -> str:
+    return _REGISTRY[_resolve(name)].description
+
+
+def supported_kwargs(name: str, kwargs: dict) -> dict:
+    """Filter ``kwargs`` down to those the backend's constructor accepts.
+
+    Lets callers (CLI, benches) pass one uniform kwarg set — e.g.
+    ``{"metric": ..., "seed": 0}`` — across backends whose signatures
+    differ (``BruteForceIndex`` takes no ``seed``).
+    """
+    sig = inspect.signature(index_class(name).__init__)
+    params = sig.parameters.values()
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params):
+        return dict(kwargs)
+    names = {p.name for p in params}
+    return {k: v for k, v in kwargs.items() if k in names}
+
+
+def create_index(name: str, *, lenient: bool = False, **kwargs) -> Index:
+    """Instantiate (not build) the backend registered under ``name``.
+
+    With ``lenient=True``, constructor kwargs the backend does not accept
+    are silently dropped instead of raising ``TypeError``.
+    """
+    if lenient:
+        kwargs = supported_kwargs(name, kwargs)
+    return index_class(name)(**kwargs)
+
+
+# --------------------------------------------------------------------------
+# Built-in backends.  Modules are imported on first create/capability call.
+# --------------------------------------------------------------------------
+
+_BUILTINS = [
+    ("rbc-exact", "repro.core.exact", "ExactRBC", ("exact",),
+     "Random Ball Cover, exact two-stage search (paper Sec. 3.2)"),
+    ("rbc-oneshot", "repro.core.oneshot", "OneShotRBC", ("oneshot",),
+     "Random Ball Cover, one-shot probabilistic search (paper Sec. 3.1)"),
+    ("brute", "repro.baselines.brute", "BruteForceIndex", ("bruteforce",),
+     "Blocked brute-force scan (the BF primitive itself)"),
+    ("covertree", "repro.baselines.covertree", "CoverTree", (),
+     "Cover tree with exact branch-and-bound descent"),
+    ("kdtree", "repro.baselines.kdtree", "KDTree", (),
+     "Classic k-d tree (L1/L2/Linf only)"),
+    ("balltree", "repro.baselines.balltree", "BallTree", (),
+     "Ball tree with triangle-inequality pruning"),
+    ("vptree", "repro.baselines.vptree", "VPTree", (),
+     "Vantage-point tree"),
+    ("gnat", "repro.baselines.gnat", "GNAT", (),
+     "Geometric near-neighbor access tree"),
+    ("aesa", "repro.baselines.aesa", "AESA", (),
+     "AESA: near-minimal evals, quadratic memory"),
+    ("buffer-kd", "repro.index.bufferkd", "BufferKDTree", ("bufferkd",),
+     "Buffer k-d tree: batched leaf buffers flushed through blocked BF"),
+    ("rpforest", "repro.index.rpforest", "RPForest", ("rp-forest",),
+     "Random projection forest, candidate union re-ranked exactly"),
+    ("router", "repro.index.router", "Router", (),
+     "Capability/SLO-aware router over registered backends"),
+]
+
+for _name, _mod, _qual, _aliases, _desc in _BUILTINS:
+    register_index(_name, _mod, _qual, description=_desc, aliases=_aliases)

@@ -98,6 +98,18 @@ def install_index_collectors(
         r.gauge(
             "repro_index_points", "database points indexed", ("index",)
         ).set(getattr(idx, "n", 0), index=name)
+        footprint = getattr(idx, "memory_footprint", None)
+        if callable(footprint):
+            try:
+                bytes_held = int(footprint())
+            except (NotImplementedError, RuntimeError):
+                bytes_held = None  # unbuilt, or no accounting
+            if bytes_held is not None:
+                r.gauge(
+                    "repro_index_memory_bytes",
+                    "approximate bytes held by the index structure",
+                    ("index",),
+                ).set(bytes_held, index=name)
         packed = getattr(idx, "packed", None)
         if packed is None:
             return

@@ -37,7 +37,7 @@ from collections import deque
 
 import numpy as np
 
-from ..metrics.base import VectorMetric
+from ..index.protocol import capabilities_for
 from ..metrics.engine import rescore_pairs
 from ..obs.collectors import install_index_collectors, install_standard_collectors
 from ..obs.metrics import MetricsRegistry
@@ -134,6 +134,10 @@ class StreamingSearcher:
             # late-bound on purpose: search_stream swaps in a per-stream
             # batcher, and that is the one a breach must back off
             slo.on_breach(lambda _mon: self.batcher.backoff())
+            if capabilities_for(index).degradable:
+                # degradable indexes (the router) also walk their own
+                # quality ladder under SLO pressure
+                slo.on_breach(lambda _mon: index.degrade())
         self.metrics = metrics
         #: batcher backoffs already mirrored into the backoff counter
         self._backoffs_seen = 0
@@ -164,16 +168,17 @@ class StreamingSearcher:
             )
         # residency: fill the in-process prepared caches up front, and pin
         # shared-memory operands for the process backend
-        warm = getattr(index, "warm", None)
-        if warm is not None and not self.ctx.uses_processes:
-            warm(self.ctx)
+        if capabilities_for(index).warmable and not self.ctx.uses_processes:
+            index.warm(self.ctx)
         self.residency = DatasetResidency(index, self.ctx)
 
     @staticmethod
     def _can_rescore(index) -> bool:
-        return isinstance(getattr(index, "metric", None), VectorMetric) and (
-            isinstance(getattr(index, "X", None), np.ndarray)
-        )
+        """Rescoring is a declared capability now: backends opt in through
+        ``capabilities().rescorable`` (the protocol's default resolves it
+        against the live metric/database state; foreign duck-typed indexes
+        get the same structural fallback via ``capabilities_for``)."""
+        return capabilities_for(index).rescorable
 
     # ------------------------------------------------------------ lifecycle
     def close(self) -> None:

@@ -186,6 +186,11 @@ class ShardedStreamingSearcher(StreamingSearcher):
             raise ValueError(
                 f"cluster has {cluster.n_nodes} nodes, need {n_shards}"
             )
+        # a composite index (the router) nominates the concrete structure
+        # that owns the disjoint ownership lists the shards partition
+        target = getattr(index, "shard_target", None)
+        if callable(target):
+            index = target()
         for attr in ("lists", "list_dists", "rep_ids", "radii"):
             if getattr(index, attr, None) is None:
                 raise ValueError(
