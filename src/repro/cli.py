@@ -246,9 +246,11 @@ def _cmd_serve_bench(args) -> int:
     from .runtime import ExecContext
     from .serving import (
         BatchPolicy,
+        CachePolicy,
         HedgePolicy,
         ShardedStreamingSearcher,
         StreamingSearcher,
+        make_scenario,
     )
 
     X, Q = _load_data(args.data, args.scale, n_queries=args.queries)
@@ -256,6 +258,25 @@ def _cmd_serve_bench(args) -> int:
         rng = np.random.default_rng(args.seed)
         take = rng.choice(X.shape[0], size=args.queries, replace=False)
         Q = X[take]
+    arrivals = None
+    scenario_params = None
+    if args.scenario:
+        # the whole trace — content skew and arrival process — comes from
+        # the explicit seed, so reruns replay byte-identical traffic
+        trace = make_scenario(
+            args.scenario, Q, n_queries=args.queries, qps=args.qps,
+            seed=args.seed,
+        )
+        Q, arrivals = trace.queries, trace.arrivals
+        scenario_params = trace.params
+    cache_spec = (
+        CachePolicy(
+            max_entries=args.cache_size,
+            ttl_s=args.cache_ttl if args.cache_ttl > 0 else float("inf"),
+        )
+        if args.cache
+        else None
+    )
     if args.index:
         from .index import create_index
 
@@ -277,7 +298,12 @@ def _cmd_serve_bench(args) -> int:
         index = OneShotRBC(seed=args.seed).build(X)
     ctx = ExecContext(executor=args.backend) if args.backend else None
 
-    def run(max_batch: int, label: str, tracer: Tracer | None = None):
+    def run(
+        max_batch: int,
+        label: str,
+        tracer: Tracer | None = None,
+        cache=None,
+    ):
         restore = getattr(index, "restore", None)
         if callable(restore):
             # each serving run starts at the router's best-quality rung;
@@ -298,17 +324,25 @@ def _cmd_serve_bench(args) -> int:
                 n_shards=args.shards,
                 replicas=args.replicas,
                 hedge=HedgePolicy() if args.replicas > 1 else None,
+                cache=cache,
             )
         else:
             srv_ = StreamingSearcher(
-                index, k=args.k, policy=policy, ctx=run_ctx, slo=slo
+                index, k=args.k, policy=policy, ctx=run_ctx, slo=slo,
+                cache=cache,
             )
         with srv_ as srv:
+            if arrivals is not None:
+                return srv.search_stream(
+                    Q, arrival_times=arrivals, name=label
+                )
             return srv.search_stream(Q, qps=args.qps, name=label)
 
     tracer = Tracer() if args.trace else None
     per_call = run(1, "per-call")
-    batched = run(args.max_batch, "resident+batched", tracer)
+    # the cache rides the resident run only: answers must still match the
+    # uncached per-call baseline bit-for-bit (the zero-recall-loss check)
+    batched = run(args.max_batch, "resident+batched", tracer, cache_spec)
     if tracer is not None:
         tracer.save(args.trace)
         print(f"wrote {args.trace} ({len(tracer)} spans)")
@@ -334,6 +368,12 @@ def _cmd_serve_bench(args) -> int:
         f"{args.qps:g} q/s offered, k={args.k}, "
         f"budget {args.max_delay_ms:g} ms"
     )
+    if scenario_params is not None:
+        knobs = ", ".join(
+            f"{k}={v}" for k, v in scenario_params.items()
+            if k not in ("scenario", "n_queries", "qps")
+        )
+        print(f"scenario: {scenario_params['scenario']} ({knobs})")
     print(
         format_table(
             ["server", "q/s", "p50 ms", "p95 ms", "p99 ms", "batch", "flushes"],
@@ -342,6 +382,13 @@ def _cmd_serve_bench(args) -> int:
     )
     speedup = batched.throughput_qps / per_call.throughput_qps
     print(f"\nbatched speedup: {speedup:.1f}x; answers identical: {identical}")
+    if cache_spec is not None:
+        print(
+            f"semantic cache: {batched.cache_hits} hits / "
+            f"{batched.cache_misses} misses "
+            f"({batched.cache_rejects} certified rejects), "
+            f"hit rate {batched.cache_hit_rate:.1%}"
+        )
     route_counts = getattr(index, "route_counts", None)
     if callable(route_counts):
         counts = route_counts()
@@ -367,6 +414,8 @@ def _cmd_serve_bench(args) -> int:
             "per_call": per_call.to_dict(),
             "batched": batched.to_dict(),
         }
+        if scenario_params is not None:
+            payload["scenario"] = scenario_params
         with open(args.json, "w") as fh:
             json.dump(payload, fh, indent=2)
         print(f"wrote {args.json}")
@@ -452,6 +501,47 @@ def _print_serve_bench(payload: dict) -> None:
             print("\n" + StreamReport.from_dict(payload[key]).summary())
 
 
+def _print_scenarios(payload: dict) -> None:
+    from .eval import format_table
+
+    print(
+        f"scenario bench: {payload.get('n', '?')} x "
+        f"{payload.get('dim', '?')} database, k={payload.get('k', '?')}, "
+        f"{payload.get('queries', '?')} queries per scenario"
+    )
+    rows = [
+        [
+            s.get("name", "?"),
+            s.get("offered_qps", 0.0),
+            s.get("hit_rate", 0.0) * 100.0,
+            s.get("uncached_throughput_qps", 0.0),
+            s.get("cached_throughput_qps", 0.0),
+            s.get("uncached_p99_ms", 0.0),
+            s.get("cached_p99_ms", 0.0),
+            s.get("p99_speedup_raw", s.get("p99_speedup", 0.0)),
+            "yes" if s.get("identical") else "NO",
+        ]
+        for s in payload.get("scenarios", [])
+    ]
+    print(
+        format_table(
+            [
+                "scenario", "offered q/s", "hit %", "q/s off", "q/s on",
+                "p99 off ms", "p99 on ms", "p99 x", "identical",
+            ],
+            rows,
+        )
+    )
+    zipf = payload.get("zipfian")
+    if zipf:
+        x = zipf.get("p99_speedup_raw", zipf.get("p99_speedup", 0.0))
+        print(
+            f"\nzipfian hot-key: p99 speedup {x:.1f}x "
+            f"at hit rate {zipf.get('hit_rate', 0.0):.1%} "
+            f"(acceptance floor 2.0x)"
+        )
+
+
 def _cmd_report(args) -> int:
     import json
 
@@ -477,6 +567,8 @@ def _cmd_report(args) -> int:
         return 0
     if isinstance(payload, dict) and "traceEvents" in payload:
         _print_chrome_trace(payload)
+    elif isinstance(payload, dict) and "scenarios" in payload:
+        _print_scenarios(payload)
     elif isinstance(payload, dict) and "per_call" in payload:
         _print_serve_bench(payload)
     elif isinstance(payload, dict) and "metrics" in payload:
@@ -633,6 +725,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="executor backend for the dispatched query calls",
     )
+    s.add_argument(
+        "--scenario",
+        choices=["uniform", "diurnal", "flash_crowd", "zipfian", "drift"],
+        default=None,
+        help="replay a generated traffic scenario (arrival process + "
+        "query skew) instead of the uniform-rate trace; seeded by --seed",
+    )
+    s.add_argument(
+        "--cache",
+        action="store_true",
+        help="front the resident run with the proximity-keyed semantic "
+        "cache (answers stay bit-identical to the uncached baseline)",
+    )
+    s.add_argument(
+        "--cache-size", type=int, default=2048, help="max cached results"
+    )
+    s.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=0.0,
+        help="cache entry TTL in seconds (<= 0 means no expiry)",
+    )
     s.add_argument("--scale", type=float, default=0.05)
     s.add_argument("--seed", type=int, default=0)
     s.add_argument("--json", default=None, help="write the full report here")
@@ -647,8 +761,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     r.add_argument(
         "file",
-        help="RunReport/StreamReport/serve-bench JSON, Chrome trace, "
-        "span dump, or metrics JSONL",
+        help="RunReport/StreamReport/serve-bench/scenario-bench JSON, "
+        "Chrome trace, span dump, or metrics JSONL",
     )
 
     mt = sub.add_parser(

@@ -35,11 +35,15 @@ class PackedLists:
     appears only after updates grow a segment.
     """
 
-    __slots__ = ("ids", "dists", "starts", "lengths")
+    __slots__ = ("ids", "dists", "starts", "lengths", "version")
 
     def __init__(self, lists: Sequence, dists: Sequence) -> None:
         if len(lists) != len(dists):
             raise ValueError("lists and dists must align")
+        #: monotone mutation stamp: bumped by every mutator so derived
+        #: state (semantic-cache certificates, rank tables) built against
+        #: one ownership layout can detect that it changed
+        self.version = 0
         sizes = np.array([len(lst) for lst in lists], dtype=np.int64)
         self.starts = np.zeros(sizes.size + 1, dtype=np.int64)
         np.cumsum(sizes, out=self.starts[1:])
@@ -123,6 +127,7 @@ class PackedLists:
         so callers know to invalidate anything derived from row numbers.
         """
         length = int(self.lengths[j])
+        self.version += 1
         relayout = False
         if length + 1 > int(self.starts[j + 1]) - int(self.starts[j]):
             self._grow(j, length + 1)
@@ -141,6 +146,7 @@ class PackedLists:
 
     def delete_at(self, j: int, pos: int) -> None:
         """Remove the entry at ``pos`` of list ``j`` (leaves slack behind)."""
+        self.version += 1
         lo, length = int(self.starts[j]), int(self.lengths[j])
         self.ids[lo + pos : lo + length - 1] = self.ids[
             lo + pos + 1 : lo + length
@@ -152,6 +158,7 @@ class PackedLists:
 
     def replace(self, j: int, new_ids: np.ndarray, new_dists: np.ndarray) -> bool:
         """Replace list ``j`` wholesale; returns ``True`` on relayout."""
+        self.version += 1
         need = len(new_ids)
         relayout = False
         if need > int(self.starts[j + 1]) - int(self.starts[j]):
@@ -165,6 +172,7 @@ class PackedLists:
 
     def drop(self, j: int) -> None:
         """Remove list ``j`` entirely (representative deletion)."""
+        self.version += 1
         lo, cap_end = int(self.starts[j]), int(self.starts[j + 1])
         self.ids = np.concatenate([self.ids[:lo], self.ids[cap_end:]])
         self.dists = np.concatenate([self.dists[:lo], self.dists[cap_end:]])

@@ -21,7 +21,11 @@ import weakref
 
 from .metrics import MetricsRegistry, registry as default_registry
 
-__all__ = ["install_standard_collectors", "install_index_collectors"]
+__all__ = [
+    "install_standard_collectors",
+    "install_index_collectors",
+    "install_cache_collectors",
+]
 
 
 def _collect_process_seams(reg: MetricsRegistry) -> None:
@@ -127,6 +131,55 @@ def install_index_collectors(
             "allocated-but-unused entries (growth headroom)",
             ("index",),
         ).set(capacity - size, index=name)
+
+    reg.add_collector(collect)
+    return reg
+
+
+def install_cache_collectors(
+    cache, reg: MetricsRegistry | None = None
+) -> MetricsRegistry:
+    """Attach semantic-cache gauges for one
+    :class:`~repro.serving.cache.ProximityCache` (held weakly): lifetime
+    hit/miss/certified-reject/eviction/invalidation tallies, live entry
+    count, and the running hit rate — read from the cache's own counters
+    at scrape time, never on the lookup path."""
+    reg = reg if reg is not None else default_registry
+    ref = weakref.ref(cache)
+
+    def collect(r: MetricsRegistry) -> None:
+        c = ref()
+        if c is None:
+            return
+        counters = c.counters
+        r.gauge(
+            "repro_semantic_cache_hits_total",
+            "queries answered from a certified cached result",
+        ).set(counters.hits)
+        r.gauge(
+            "repro_semantic_cache_misses_total",
+            "queries that fell through to the index",
+        ).set(counters.misses)
+        r.gauge(
+            "repro_semantic_cache_rejects_total",
+            "misses whose nearest key failed the tolerance certificate",
+        ).set(counters.rejects)
+        r.gauge(
+            "repro_semantic_cache_entries",
+            "live cached results",
+        ).set(len(c))
+        r.gauge(
+            "repro_semantic_cache_hit_rate",
+            "lifetime fraction of lookups served from cache",
+        ).set(counters.hit_rate)
+        r.gauge(
+            "repro_semantic_cache_evictions_total",
+            "entries dropped by LRU pressure or TTL expiry",
+        ).set(counters.evicted + counters.expired)
+        r.gauge(
+            "repro_semantic_cache_invalidations_total",
+            "entries dropped because the index mutated",
+        ).set(counters.invalidated)
 
     reg.add_collector(collect)
     return reg

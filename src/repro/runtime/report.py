@@ -307,6 +307,14 @@ class StreamReport(RunReport):
     #: per-shard load breakdown (``None`` when unsharded): one dict per
     #: shard with tasks / queries / evals / busy_s / hedges and traffic
     per_shard: list[dict] | None = None
+    #: semantic-cache activity during the stream (all zero when the
+    #: searcher ran without a :class:`~repro.serving.cache.ProximityCache`)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: certified rejects: lookups whose nearest key existed but whose
+    #: tolerance certificate failed (a subset of ``cache_misses``)
+    cache_rejects: int = 0
+    cache_hit_rate: float = 0.0
 
     def summary(self) -> str:
         lines = [
@@ -334,6 +342,13 @@ class StreamReport(RunReport):
                     f"{row.get('busy_s', 0.0) * 1e3:.2f} ms busy, "
                     f"{row.get('hedges', 0)} hedges"
                 )
+        if self.cache_hits or self.cache_misses:
+            lines.append(
+                f"  semantic cache: {self.cache_hits} hits, "
+                f"{self.cache_misses} misses "
+                f"({self.cache_rejects} certified rejects), "
+                f"hit rate {self.cache_hit_rate:.1%}"
+            )
         if self.slo:
             lines.append(
                 f"  slo: target p{self.slo.get('target', 0) * 100:g} "
@@ -360,6 +375,10 @@ class StreamReport(RunReport):
             rounds=self.rounds,
             hedges=self.hedges,
             per_shard=self.per_shard,
+            cache_hits=self.cache_hits,
+            cache_misses=self.cache_misses,
+            cache_rejects=self.cache_rejects,
+            cache_hit_rate=self.cache_hit_rate,
         )
         return d
 
@@ -380,6 +399,12 @@ class StreamReport(RunReport):
             "rounds": int(d.get("rounds", 0)),
             "hedges": int(d.get("hedges", 0)),
             "per_shard": d.get("per_shard"),
+            # cache fields arrived after the first serialized payloads;
+            # .get defaults keep old payloads loading cleanly
+            "cache_hits": int(d.get("cache_hits", 0)),
+            "cache_misses": int(d.get("cache_misses", 0)),
+            "cache_rejects": int(d.get("cache_rejects", 0)),
+            "cache_hit_rate": float(d.get("cache_hit_rate", 0.0)),
         }
 
 

@@ -10,17 +10,38 @@ latency-budgeted micro-batches via the measurement-driven
 :class:`~repro.serving.batcher.QueryBatcher`, and reports per-query
 latency percentiles and throughput as a
 :class:`~repro.runtime.report.StreamReport`.
+
+Skewed traffic gets its own tier: the
+:class:`~repro.serving.cache.ProximityCache` answers queries within a
+certified tolerance radius of a cached neighbor's result with zero
+recall loss, and :mod:`repro.serving.scenarios` generates the realistic
+traces (diurnal, flash-crowd, Zipfian, drift) that make the skew
+measurable.
 """
 
 from .batcher import BatchPolicy, QueryBatcher
+from .cache import CacheCounters, CachePolicy, ProximityCache
 from .residency import DatasetResidency
+from .scenarios import (
+    SCENARIOS,
+    ScenarioTrace,
+    make_scenario,
+    observe_scenario,
+)
 from .searcher import StreamingSearcher
 from .sharded import HedgePolicy, ShardedStreamingSearcher
 
 __all__ = [
     "BatchPolicy",
     "QueryBatcher",
+    "CacheCounters",
+    "CachePolicy",
+    "ProximityCache",
     "DatasetResidency",
+    "SCENARIOS",
+    "ScenarioTrace",
+    "make_scenario",
+    "observe_scenario",
     "StreamingSearcher",
     "HedgePolicy",
     "ShardedStreamingSearcher",

@@ -1,0 +1,366 @@
+"""Realistic serving-traffic scenarios: arrival processes + query skew.
+
+``serve-bench`` historically replayed a uniform-rate trace of i.i.d.
+queries — the one traffic shape production never sees.  Real workloads
+have structure on both axes the serving stack cares about:
+
+* **when** queries arrive — diurnal load cycles, flash crowds, Poisson
+  noise around any mean rate — which stresses the adaptive micro-batcher
+  and the SLO monitor;
+* **what** they ask — Zipfian hot keys, near-duplicate reformulations,
+  slowly drifting intent — which is exactly the structure the proximity
+  cache (:mod:`repro.serving.cache`) exploits and the structure that
+  ages its entries out.
+
+A :class:`ScenarioTrace` bundles both axes: a query matrix, one
+nondecreasing arrival time per query, and the generator's parameters for
+provenance.  Every generator is a pure function of an explicit ``seed``
+(no global RNG state), so a scenario bench is reproducible run-to-run
+and across machines.
+
+Traces plug straight into the stack::
+
+    trace = make_scenario("zipfian", pool, n_queries=2048, qps=3000, seed=7)
+    report = server.search_stream(
+        trace.queries, arrival_times=trace.arrivals, name=trace.name
+    )
+    observe_scenario(router, report)   # feed the router's cost model
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "ScenarioTrace",
+    "SCENARIOS",
+    "make_scenario",
+    "observe_scenario",
+    "uniform_scenario",
+    "diurnal_scenario",
+    "flash_crowd_scenario",
+    "zipfian_scenario",
+    "drift_scenario",
+]
+
+
+@dataclass
+class ScenarioTrace:
+    """One generated traffic trace: queries plus their arrival times.
+
+    ``queries`` is ``(n, d)`` float64, ``arrivals`` the matching
+    nondecreasing arrival seconds, and ``params`` the full generator
+    configuration (scenario name, seed, rates, skew knobs) for
+    provenance in benchmark payloads.
+    """
+
+    name: str
+    queries: np.ndarray
+    arrivals: np.ndarray
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.queries = np.atleast_2d(np.asarray(self.queries, dtype=np.float64))
+        self.arrivals = np.asarray(self.arrivals, dtype=np.float64)
+        if self.arrivals.shape != (self.queries.shape[0],):
+            raise ValueError("need one arrival time per query")
+        if np.any(np.diff(self.arrivals) < 0):
+            raise ValueError("arrival times must be nondecreasing")
+
+    @property
+    def n_queries(self) -> int:
+        return int(self.queries.shape[0])
+
+    @property
+    def duration_s(self) -> float:
+        return float(self.arrivals[-1]) if self.arrivals.size else 0.0
+
+    @property
+    def offered_qps(self) -> float:
+        """Mean offered rate over the trace span."""
+        return self.n_queries / max(self.duration_s, 1e-12)
+
+
+# --------------------------------------------------------------- arrivals
+def _poisson_arrivals(rng: np.random.Generator, n: int, qps: float) -> np.ndarray:
+    """Homogeneous Poisson process at mean rate ``qps``: cumulative
+    exponential gaps, starting at the first gap (not zero)."""
+    if qps <= 0:
+        raise ValueError("qps must be positive")
+    return np.cumsum(rng.exponential(1.0 / qps, size=n))
+
+
+def _modulated_arrivals(
+    rng: np.random.Generator, n: int, qps: float, rate_of
+) -> np.ndarray:
+    """Nonhomogeneous Poisson arrivals with instantaneous rate
+    ``rate_of(t) >= 0`` and mean rate ``qps``, via inverse transform on
+    the cumulative intensity: unit-rate Poisson event times are mapped
+    through the inverse of ``Lambda(t) = integral rate``, evaluated on a
+    fine grid."""
+    unit = np.cumsum(rng.exponential(1.0, size=n))
+    # grid long enough to cover n expected events at the mean rate, with
+    # head-room for the troughs pushing events later
+    horizon = 4.0 * n / qps
+    t = np.linspace(0.0, horizon, max(4096, 8 * n))
+    rate = np.maximum(np.asarray(rate_of(t), dtype=np.float64), 0.0)
+    cum = np.concatenate([[0.0], np.cumsum(0.5 * (rate[1:] + rate[:-1]) * np.diff(t))])
+    if unit[-1] > cum[-1]:  # pragma: no cover - defensive horizon growth
+        scale = unit[-1] / max(cum[-1], 1e-12)
+        t = t * scale
+        cum = cum * scale
+    return np.interp(unit, cum, t)
+
+
+def _draw_pool(rng: np.random.Generator, pool: np.ndarray, n: int) -> np.ndarray:
+    return pool[rng.integers(0, pool.shape[0], size=n)]
+
+
+def _as_pool(pool) -> np.ndarray:
+    pool = np.atleast_2d(np.asarray(pool, dtype=np.float64))
+    if pool.shape[0] == 0:
+        raise ValueError("query pool must be non-empty")
+    return pool
+
+
+# -------------------------------------------------------------- scenarios
+def uniform_scenario(
+    pool,
+    *,
+    n_queries: int,
+    qps: float,
+    seed: int = 0,
+) -> ScenarioTrace:
+    """The classic baseline: i.i.d. pool queries, Poisson arrivals."""
+    rng = np.random.default_rng(seed)
+    pool = _as_pool(pool)
+    return ScenarioTrace(
+        name="uniform",
+        queries=_draw_pool(rng, pool, n_queries),
+        arrivals=_poisson_arrivals(rng, n_queries, qps),
+        params={"scenario": "uniform", "n_queries": n_queries, "qps": qps,
+                "seed": seed},
+    )
+
+
+def diurnal_scenario(
+    pool,
+    *,
+    n_queries: int,
+    qps: float,
+    seed: int = 0,
+    period_s: float = 4.0,
+    depth: float = 0.8,
+) -> ScenarioTrace:
+    """Day/night load cycle: a sinusoid-modulated Poisson process whose
+    rate swings ``qps * (1 ± depth)`` with period ``period_s`` (seconds
+    of virtual time — a compressed "day").  Queries are i.i.d. from the
+    pool; the stress is on the batcher riding the rate swings."""
+    if not 0.0 <= depth <= 1.0:
+        raise ValueError("depth must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    pool = _as_pool(pool)
+    omega = 2.0 * np.pi / float(period_s)
+    arrivals = _modulated_arrivals(
+        rng, n_queries, qps, lambda t: qps * (1.0 + depth * np.sin(omega * t))
+    )
+    return ScenarioTrace(
+        name="diurnal",
+        queries=_draw_pool(rng, pool, n_queries),
+        arrivals=arrivals,
+        params={"scenario": "diurnal", "n_queries": n_queries, "qps": qps,
+                "seed": seed, "period_s": period_s, "depth": depth},
+    )
+
+
+def flash_crowd_scenario(
+    pool,
+    *,
+    n_queries: int,
+    qps: float,
+    seed: int = 0,
+    n_bursts: int = 3,
+    burst_x: float = 8.0,
+    burst_frac: float = 0.1,
+    jitter: float = 1e-4,
+) -> ScenarioTrace:
+    """Flash crowds: background Poisson traffic punctuated by bursts at
+    ``burst_x`` times the base rate, each burst asking near-duplicates of
+    one hot prototype (everyone searching the same breaking topic).
+    ``burst_frac`` is the fraction of the trace span inside bursts;
+    ``jitter`` the per-coordinate Gaussian scale of the reformulations."""
+    rng = np.random.default_rng(seed)
+    pool = _as_pool(pool)
+    span_guess = n_queries / qps
+    width = burst_frac * span_guess / max(n_bursts, 1)
+    starts = np.sort(rng.uniform(0.0, span_guess - width, size=n_bursts))
+    rate = lambda t: qps * (  # noqa: E731 - tiny closure over the windows
+        1.0
+        + (burst_x - 1.0)
+        * np.any(
+            (t[:, None] >= starts[None, :])
+            & (t[:, None] < starts[None, :] + width),
+            axis=1,
+        )
+    )
+    arrivals = _modulated_arrivals(rng, n_queries, qps, rate)
+    in_burst = np.any(
+        (arrivals[:, None] >= starts[None, :])
+        & (arrivals[:, None] < starts[None, :] + width),
+        axis=1,
+    )
+    protos = _draw_pool(rng, pool, n_bursts)
+    # each burst window reuses its own prototype
+    which = np.clip(
+        np.searchsorted(starts, arrivals, side="right") - 1, 0, n_bursts - 1
+    )
+    queries = _draw_pool(rng, pool, n_queries)
+    d = pool.shape[1]
+    noise = rng.normal(scale=jitter, size=(n_queries, d))
+    queries[in_burst] = protos[which[in_burst]] + noise[in_burst]
+    return ScenarioTrace(
+        name="flash_crowd",
+        queries=queries,
+        arrivals=arrivals,
+        params={"scenario": "flash_crowd", "n_queries": n_queries,
+                "qps": qps, "seed": seed, "n_bursts": n_bursts,
+                "burst_x": burst_x, "burst_frac": burst_frac,
+                "jitter": jitter},
+    )
+
+
+def zipfian_scenario(
+    pool,
+    *,
+    n_queries: int,
+    qps: float,
+    seed: int = 0,
+    n_hot: int = 32,
+    alpha: float = 1.1,
+    exact_frac: float = 0.5,
+    jitter: float = 1e-4,
+    background_frac: float = 0.2,
+) -> ScenarioTrace:
+    """Zipfian hot keys + near-duplicate skew — the cache's home turf.
+
+    ``1 - background_frac`` of the traffic targets ``n_hot`` prototype
+    queries under a Zipf(``alpha``) popularity law; of those,
+    ``exact_frac`` are byte-exact repeats and the rest near-duplicate
+    reformulations (Gaussian ``jitter``).  The remainder is background
+    uniform pool traffic.  Arrivals are Poisson at ``qps``."""
+    rng = np.random.default_rng(seed)
+    pool = _as_pool(pool)
+    ranks = np.arange(1, n_hot + 1, dtype=np.float64)
+    p = ranks ** (-float(alpha))
+    p /= p.sum()
+    protos = _draw_pool(rng, pool, n_hot)
+    which = rng.choice(n_hot, size=n_queries, p=p)
+    queries = protos[which].copy()
+    u = rng.random(n_queries)
+    background = u < background_frac
+    jittered = ~background & (
+        u >= background_frac + (1.0 - background_frac) * exact_frac
+    )
+    d = pool.shape[1]
+    queries[jittered] += rng.normal(scale=jitter, size=(int(jittered.sum()), d))
+    queries[background] = _draw_pool(rng, pool, int(background.sum()))
+    return ScenarioTrace(
+        name="zipfian",
+        queries=queries,
+        arrivals=_poisson_arrivals(rng, n_queries, qps),
+        params={"scenario": "zipfian", "n_queries": n_queries, "qps": qps,
+                "seed": seed, "n_hot": n_hot, "alpha": alpha,
+                "exact_frac": exact_frac, "jitter": jitter,
+                "background_frac": background_frac},
+    )
+
+
+def drift_scenario(
+    pool,
+    *,
+    n_queries: int,
+    qps: float,
+    seed: int = 0,
+    n_hot: int = 8,
+    drift_scale: float = 0.05,
+    jitter: float = 1e-4,
+    background_frac: float = 0.2,
+) -> ScenarioTrace:
+    """Interest drift: hot prototypes random-walk through query space
+    over the trace (step scale ``drift_scale`` per arrival), so a result
+    cached against an early prototype position stops certifying later —
+    the adversarial case for any semantic cache's TTL/eviction policy."""
+    rng = np.random.default_rng(seed)
+    pool = _as_pool(pool)
+    d = pool.shape[1]
+    protos = _draw_pool(rng, pool, n_hot)
+    arrivals = _poisson_arrivals(rng, n_queries, qps)
+    which = rng.integers(0, n_hot, size=n_queries)
+    steps = rng.normal(scale=drift_scale, size=(n_queries, d))
+    queries = np.empty((n_queries, d))
+    for i in range(n_queries):
+        protos[which[i]] += steps[i]
+        queries[i] = protos[which[i]]
+    queries += rng.normal(scale=jitter, size=(n_queries, d))
+    background = rng.random(n_queries) < background_frac
+    queries[background] = _draw_pool(rng, pool, int(background.sum()))
+    return ScenarioTrace(
+        name="drift",
+        queries=queries,
+        arrivals=arrivals,
+        params={"scenario": "drift", "n_queries": n_queries, "qps": qps,
+                "seed": seed, "n_hot": n_hot, "drift_scale": drift_scale,
+                "jitter": jitter, "background_frac": background_frac},
+    )
+
+
+#: scenario name -> generator; all share the
+#: ``(pool, *, n_queries, qps, seed, **knobs)`` signature
+SCENARIOS = {
+    "uniform": uniform_scenario,
+    "diurnal": diurnal_scenario,
+    "flash_crowd": flash_crowd_scenario,
+    "zipfian": zipfian_scenario,
+    "drift": drift_scenario,
+}
+
+
+def make_scenario(
+    name: str,
+    pool,
+    *,
+    n_queries: int,
+    qps: float,
+    seed: int = 0,
+    **knobs,
+) -> ScenarioTrace:
+    """Generate the named scenario's trace from an explicit seed."""
+    try:
+        gen = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; have {sorted(SCENARIOS)}"
+        ) from None
+    return gen(pool, n_queries=n_queries, qps=qps, seed=seed, **knobs)
+
+
+def observe_scenario(router, report, *, backend: str | None = None) -> None:
+    """Feed a scenario stream's measured cost into a Router's cost model.
+
+    The router prices backends from per-query wall observations; a
+    scenario replay is a large, realistically-skewed sample of exactly
+    that, so routing decisions after a scenario run reflect the traffic
+    actually served.  ``backend`` defaults to the router's last routing
+    decision (the backend that served the stream).
+    """
+    if backend is None:
+        decision = getattr(router, "last_decision", None)
+        backend = getattr(decision, "backend", None)
+    if backend is None:
+        raise ValueError(
+            "no backend given and the router has no last_decision; pass "
+            "backend= explicitly"
+        )
+    router.observe_report(backend, report)

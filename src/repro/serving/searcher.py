@@ -39,12 +39,17 @@ import numpy as np
 
 from ..index.protocol import capabilities_for
 from ..metrics.engine import rescore_pairs
-from ..obs.collectors import install_index_collectors, install_standard_collectors
+from ..obs.collectors import (
+    install_cache_collectors,
+    install_index_collectors,
+    install_standard_collectors,
+)
 from ..obs.metrics import MetricsRegistry
 from ..obs.slo import SLOMonitor
 from ..runtime.context import ExecContext, TimingRecorder, resolve_ctx
 from ..runtime.report import LatencyStats, StreamReport, collect_report
 from .batcher import BatchPolicy, QueryBatcher
+from .cache import CachePolicy, ProximityCache
 from .residency import DatasetResidency
 
 __all__ = ["StreamingSearcher"]
@@ -83,6 +88,17 @@ class StreamingSearcher:
         sojourn-latency histogram, and served/batch counters in it, and
         installs the standard pull-collectors (operand cache, executor
         pool, packed-list slack).
+    cache:
+        optional proximity-keyed result cache
+        (:class:`~repro.serving.cache.ProximityCache`) consulted before
+        every dispatch: queries within a cached key's certified tolerance
+        radius are answered from cache with zero recall loss, everything
+        else falls through to the index.  Pass an existing cache, a
+        :class:`~repro.serving.cache.CachePolicy`, or ``True`` for the
+        default policy.  Requires an exact index over a true metric with
+        rescoring available (the certificate math needs all three); the
+        searcher over-fetches ``k + 1`` neighbors on misses to learn each
+        entry's radius, and still serves ``k`` per answer.
     query_kwargs:
         extra keyword arguments forwarded to every ``index.query`` call
         (e.g. ``n_probes=2``).
@@ -110,17 +126,44 @@ class StreamingSearcher:
         rescore: bool = True,
         slo: SLOMonitor | None = None,
         metrics: MetricsRegistry | None = None,
+        cache: ProximityCache | CachePolicy | bool | None = None,
         **query_kwargs,
     ) -> None:
         getattr(index, "_require_built", lambda: None)()
         self.index = index
-        self.k = int(k)
+        #: neighbors per served answer (``self.k`` is the dispatch width:
+        #: one wider when the cache needs the (k+1)-th distance)
+        self.k_serve = int(k)
+        self.k = self.k_serve
         self.policy = policy or BatchPolicy()
         base = getattr(index, "_base_ctx", ExecContext)()
         self.ctx = resolve_ctx(ctx).overriding(base)
         self.query_kwargs = dict(query_kwargs)
         self.batcher = QueryBatcher(self.policy)
         self.rescore = bool(rescore) and self._can_rescore(index)
+        self.cache: ProximityCache | None = None
+        if cache is not None and cache is not False:
+            if not self.rescore:
+                raise ValueError(
+                    "the proximity cache needs rescoring: hit distances "
+                    "are recomputed for the new query with the paired "
+                    "kernel, and bit-identity with the miss path depends "
+                    "on both sides being rescored"
+                )
+            if isinstance(cache, ProximityCache):
+                if cache.index is not index or cache.k != self.k_serve:
+                    raise ValueError(
+                        "cache was built for a different index or k"
+                    )
+                self.cache = cache
+            else:
+                pol = cache if isinstance(cache, CachePolicy) else None
+                self.cache = ProximityCache(
+                    index, self.k_serve, policy=pol
+                )
+            # misses fetch one extra neighbor so the (k+1)-th distance
+            # certifies each admitted entry's tolerance radius
+            self.k = self.k_serve + 1
         self._closed = False
         #: ticket -> (dist_row, idx_row) for answered, un-collected queries
         self._done: dict[int, tuple[np.ndarray, np.ndarray]] = {}
@@ -144,6 +187,8 @@ class StreamingSearcher:
         if metrics is not None:
             install_standard_collectors(metrics)
             install_index_collectors(index, metrics)
+            if self.cache is not None:
+                install_cache_collectors(self.cache, metrics)
             self._m_served = metrics.counter(
                 "repro_queries_served_total", "queries answered by the searcher"
             )
@@ -199,11 +244,14 @@ class StreamingSearcher:
             raise RuntimeError("StreamingSearcher is closed")
 
     # -------------------------------------------------------------- dispatch
-    def _dispatch(self, Qb: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    def _dispatch(
+        self, Qb: np.ndarray, width: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
         """One micro-batch through the index, re-scored to batching
         invariance, with the rule counters accumulated."""
+        k = self.k if width is None else int(width)
         dist, idx = self.index.query(
-            Qb, self.k, ctx=self.ctx, **self.query_kwargs
+            Qb, k, ctx=self.ctx, **self.query_kwargs
         )
         if self.rescore:
             d = rescore_pairs(self.index.metric, Qb, self.index.X, idx)
@@ -218,7 +266,7 @@ class StreamingSearcher:
         return dist, idx
 
     def _timed_dispatch(
-        self, Qb: np.ndarray
+        self, Qb: np.ndarray, width: int | None = None
     ) -> tuple[np.ndarray, np.ndarray, float]:
         """Dispatch one micro-batch and return ``(dist, idx, service_s)``.
 
@@ -227,10 +275,61 @@ class StreamingSearcher:
         sharded searcher, whose time is the max over shard completions
         plus communication) override this one method; everything else —
         batching, the virtual clock, telemetry — is inherited unchanged.
+        ``width`` overrides the dispatch top-k (default ``self.k``).
         """
         t0 = time.perf_counter()
-        dist, idx = self._dispatch(Qb)
+        dist, idx = self._dispatch(Qb, width)
         return dist, idx, time.perf_counter() - t0
+
+    def _serve_batch(
+        self, Qb: np.ndarray, now: float
+    ) -> tuple[np.ndarray, np.ndarray, float]:
+        """Serve one micro-batch: cache hits first, index for the rest.
+
+        Returns ``(dist, idx, service_s)`` at the *served* width
+        ``k_serve``.  Without a cache this is :meth:`_timed_dispatch`
+        verbatim.  With one, certified hits skip the index entirely,
+        misses dispatch through the (unchanged, subclass-overridable)
+        :meth:`_timed_dispatch` at width ``k + 1`` and are admitted as new
+        keys; the cache's own work (lookup GEMM, hit rescore, admission)
+        is measured and included in the batch's service time.
+        """
+        if self.cache is None:
+            return self._timed_dispatch(Qb)
+        t0 = time.perf_counter()
+        hit, hd, hi = self.cache.lookup(Qb, now=now)
+        cache_s = time.perf_counter() - t0
+        m = int(Qb.shape[0])
+        dist = np.empty((m, self.k_serve))
+        idx = np.empty((m, self.k_serve), dtype=np.int64)
+        if hd is not None:
+            dist[hit], idx[hit] = hd, hi
+        miss = ~hit
+        service = 0.0
+        if np.any(miss):
+            md, mi, service = self._timed_dispatch(Qb[miss])
+            ks = self.k_serve
+            # A tie at the k-boundary (d_k == d_{k+1}) means which tie
+            # member makes the top-k is a width-dependent engine choice:
+            # the k+1 over-fetch trimmed to k may pick a different (equally
+            # correct) id than an uncached k-width dispatch would.  Re-ask
+            # those rare rows at width k so the served row — and the stored
+            # entry an exact repeat is later served from — is the engine's
+            # own k-width answer.  The certified radius is 0 either way.
+            tie = np.isfinite(md[:, ks - 1]) & (md[:, ks - 1] == md[:, ks])
+            if np.any(tie):
+                td, ti, extra = self._timed_dispatch(Qb[miss][tie], ks)
+                service += extra
+                md[tie, :ks] = td
+                mi[tie, :ks] = ti
+                md[tie, ks] = td[:, ks - 1]
+                mi[tie, ks] = -1
+            t1 = time.perf_counter()
+            self.cache.admit(Qb[miss], md, mi, now=now)
+            cache_s += time.perf_counter() - t1
+            dist[miss] = md[:, : self.k_serve]
+            idx[miss] = mi[:, : self.k_serve]
+        return dist, idx, service + cache_s
 
     def _observe_served(self, sojourns, now: float) -> None:
         """Per-dispatch telemetry: SLO samples first (a breach may back
@@ -278,7 +377,7 @@ class StreamingSearcher:
             "serve:batch",
             size=len(items),
         ):
-            dist, idx, service = self._timed_dispatch(Qb)
+            dist, idx, service = self._serve_batch(Qb, now)
         self.batcher.observe(len(items), service)
         done_t = now + service
         for row, ticket in enumerate(tickets):
@@ -430,8 +529,8 @@ class StreamingSearcher:
         self._backoffs_seen = 0
         self._stream_begin()
 
-        dist = np.full((m, self.k), np.inf)
-        idx = np.full((m, self.k), -1, dtype=np.int64)
+        dist = np.full((m, self.k_serve), np.inf)
+        idx = np.full((m, self.k_serve), -1, dtype=np.int64)
         sojourn = np.zeros(m)
         wait = np.zeros(m)
         served = deque()
@@ -473,7 +572,9 @@ class StreamingSearcher:
                             "serve:batch",
                             size=len(items),
                         ):
-                            bd, bi, service = self._timed_dispatch(Qb[rows])
+                            bd, bi, service = self._serve_batch(
+                                Qb[rows], now
+                            )
                         batcher.observe(len(items), service)
                         done_t = now + service
                         dist[rows], idx[rows] = bd, bi
@@ -541,9 +642,19 @@ class StreamingSearcher:
     def _stream_begin(self) -> None:
         """Called by :meth:`search_stream` once the per-stream batcher is
         installed, before any dispatch; subclasses snapshot per-stream
-        accumulators here."""
+        accumulators here (and call ``super()``)."""
+        self._cache_snap = (
+            self.cache.counters.snapshot() if self.cache is not None else None
+        )
 
     def _augment_report(self, stream: StreamReport) -> None:
         """Called on the finished :class:`StreamReport` just before
         :meth:`search_stream` returns; subclasses stamp extra fields
-        (shard counts, hedges, per-shard load) here."""
+        (shard counts, hedges, per-shard load) here (and call
+        ``super()``)."""
+        if self.cache is not None and self._cache_snap is not None:
+            win = self.cache.counters.since(self._cache_snap)
+            stream.cache_hits = win.hits
+            stream.cache_misses = win.misses
+            stream.cache_rejects = win.rejects
+            stream.cache_hit_rate = win.hit_rate

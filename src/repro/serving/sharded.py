@@ -296,6 +296,7 @@ class ShardedStreamingSearcher(StreamingSearcher):
         D_R: np.ndarray,
         gamma: np.ndarray,
         keep: np.ndarray,
+        width: int | None = None,
     ) -> tuple[np.ndarray, np.ndarray, int, int]:
         """Shard ``w``'s node-local stage 2 for the routed queries.
 
@@ -304,7 +305,8 @@ class ShardedStreamingSearcher(StreamingSearcher):
         owned by this shard's representatives, produced by the same
         Claim-2-trimmed grouped prefix scans as the exact search.
         """
-        index, metric, k = self.index, self.index.metric, self.k
+        index, metric = self.index, self.index.metric
+        k = self.k if width is None else int(width)
         best_d = np.full((rows.size, k), np.inf)
         best_i = np.full((rows.size, k), EMPTY_IDX, dtype=np.int64)
         evals = trimmed = 0
@@ -338,7 +340,7 @@ class ShardedStreamingSearcher(StreamingSearcher):
 
     # ------------------------------------------------------------- dispatch
     def _timed_dispatch(
-        self, Qb: np.ndarray
+        self, Qb: np.ndarray, width: int | None = None
     ) -> tuple[np.ndarray, np.ndarray, float]:
         """One micro-batch as a scatter-gather wave over the shards.
 
@@ -347,9 +349,11 @@ class ShardedStreamingSearcher(StreamingSearcher):
         is attached) + the max over shard-task completions, hedging
         included.  The scans run inline (the shards are simulated), so
         the measured walls feed the model instead of the clock.
+        ``width`` overrides the dispatch top-k (default ``self.k``).
         """
         t_start = time.perf_counter()
-        index, metric, k = self.index, self.index.metric, self.k
+        index, metric = self.index, self.index.metric
+        k = self.k if width is None else int(width)
         m = int(Qb.shape[0])
         nr = index.n_reps
         tracer = self.ctx.tracer
@@ -393,7 +397,7 @@ class ShardedStreamingSearcher(StreamingSearcher):
             with tracer.span("serve:shard", shard=w, queries=int(rows.size)):
                 t0 = time.perf_counter()
                 pd, pi, evals_w, trim_w = self._scan_shard(
-                    Qb, w, rows, D_R, gamma, keep
+                    Qb, w, rows, D_R, gamma, keep, width
                 )
                 walls[w] = time.perf_counter() - t0
             partials[w] = (pd, pi)
@@ -523,9 +527,11 @@ class ShardedStreamingSearcher(StreamingSearcher):
         )
 
     def _stream_begin(self) -> None:
+        super()._stream_begin()
         self._snap = self._snapshot()
 
     def _augment_report(self, stream: StreamReport) -> None:
+        super()._augment_report(stream)
         r0, h0, t0, c0 = self._snap
         stream.n_shards = self.n_shards
         stream.rounds = self.rounds - r0

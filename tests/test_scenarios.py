@@ -1,0 +1,169 @@
+"""The traffic-scenario generators: seeded, structured, pluggable.
+
+Every generator must be a pure function of its explicit seed (the whole
+point of the ``--seed`` satellite: benches replay byte-identical traffic
+run-to-run), must emit a valid trace (nondecreasing arrivals, one per
+query), and must actually exhibit the structure its name promises —
+repeats under Zipf, rate swings under diurnal, burst near-duplicates
+under flash crowds, moving targets under drift.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ExactRBC
+from repro.index import Router
+from repro.serving import (
+    SCENARIOS,
+    BatchPolicy,
+    StreamingSearcher,
+    make_scenario,
+    observe_scenario,
+)
+
+
+@pytest.fixture
+def pool(rng):
+    return rng.normal(size=(256, 8))
+
+
+# ----------------------------------------------------------- trace contract
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_trace_shape_and_arrivals(name, pool):
+    trace = make_scenario(name, pool, n_queries=200, qps=1000.0, seed=5)
+    assert trace.name == name
+    assert trace.queries.shape == (200, 8)
+    assert trace.arrivals.shape == (200,)
+    assert np.all(np.diff(trace.arrivals) >= 0)
+    assert np.all(np.isfinite(trace.queries))
+    assert trace.params["seed"] == 5
+    assert trace.n_queries == 200
+    assert trace.duration_s > 0
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_same_seed_same_trace(name, pool):
+    a = make_scenario(name, pool, n_queries=150, qps=800.0, seed=11)
+    b = make_scenario(name, pool, n_queries=150, qps=800.0, seed=11)
+    assert np.array_equal(a.queries, b.queries)
+    assert np.array_equal(a.arrivals, b.arrivals)
+    c = make_scenario(name, pool, n_queries=150, qps=800.0, seed=12)
+    assert not np.array_equal(a.queries, c.queries) or not np.array_equal(
+        a.arrivals, c.arrivals
+    )
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_offered_rate_near_requested(name, pool):
+    trace = make_scenario(name, pool, n_queries=2000, qps=1000.0, seed=0)
+    # Poisson noise and burst head-room allowed; order of magnitude holds
+    assert 300.0 < trace.offered_qps < 3000.0
+
+
+def test_unknown_scenario_raises(pool):
+    with pytest.raises(ValueError, match="unknown scenario"):
+        make_scenario("tsunami", pool, n_queries=10, qps=10.0)
+
+
+# ------------------------------------------------------- promised structure
+
+
+def test_zipfian_has_hot_repeats(pool):
+    trace = make_scenario(
+        "zipfian", pool, n_queries=1000, qps=1000.0, seed=3
+    )
+    _, counts = np.unique(trace.queries, axis=0, return_counts=True)
+    # exact repeats of hot prototypes dominate: far fewer unique rows
+    # than queries, and the hottest key is asked many times
+    assert counts.max() >= 50
+    assert counts.size < 700
+
+
+def test_diurnal_rate_actually_swings(pool):
+    trace = make_scenario(
+        "diurnal", pool, n_queries=4000, qps=2000.0, seed=1,
+        period_s=1.0, depth=0.9,
+    )
+    # bin arrivals at quarter-period resolution: peak bins must carry
+    # several times the trough bins
+    bins = np.histogram(
+        trace.arrivals, bins=max(8, int(4 * trace.duration_s))
+    )[0]
+    inner = bins[1:-1]  # edge bins are partial
+    assert inner.max() > 3 * max(inner.min(), 1)
+
+
+def test_flash_crowd_bursts_are_near_duplicates(pool):
+    trace = make_scenario(
+        "flash_crowd", pool, n_queries=1500, qps=1000.0, seed=2,
+        burst_x=10.0, jitter=1e-5,
+    )
+    # during a burst everyone asks (a jitter of) the same prototype, so
+    # a large clump of queries sits within ~jitter of one another
+    D = np.linalg.norm(
+        trace.queries[:, None, :] - trace.queries[None, :500, :], axis=2
+    )
+    clump = (D < 1e-3).sum(axis=0).max()
+    assert clump > 100
+
+
+def test_drift_moves_the_hot_set(pool):
+    trace = make_scenario(
+        "drift", pool, n_queries=1000, qps=1000.0, seed=4,
+        background_frac=0.0, drift_scale=0.2,
+    )
+    early = trace.queries[:100].mean(axis=0)
+    late = trace.queries[-100:].mean(axis=0)
+    assert np.linalg.norm(early - late) > 0.5
+
+
+# ----------------------------------------------------------- stack plumbing
+
+
+def test_trace_replays_through_search_stream(rng, pool):
+    X = rng.normal(size=(800, 8))
+    idx = ExactRBC(seed=0).build(X)
+    trace = make_scenario("zipfian", pool, n_queries=60, qps=3000.0, seed=9)
+    with StreamingSearcher(
+        idx, k=2, policy=BatchPolicy(max_batch=16), cache=True
+    ) as srv:
+        report = srv.search_stream(
+            trace.queries, arrival_times=trace.arrivals, name=trace.name
+        )
+    assert report.n_queries == 60
+    assert report.cache_hits + report.cache_misses == 60
+    assert report.cache_hits > 0  # zipfian repeats hit within one stream
+    # cache-served answers match a fresh uncached query bit-for-bit
+    with StreamingSearcher(idx, k=2) as plain:
+        want = plain.search_stream(trace.queries, qps=3000.0)
+    np.testing.assert_array_equal(report.idx, want.idx)
+    assert np.array_equal(report.dist, want.dist)
+
+
+def test_observe_scenario_feeds_router_cost_model(rng, pool):
+    X = rng.normal(size=(600, 8))
+    router = Router(seed=0).build(X)
+    trace = make_scenario("uniform", pool, n_queries=30, qps=2000.0, seed=0)
+    router.query(trace.queries[:4], 2)  # sets last_decision
+    backend = router.last_decision.backend
+    with StreamingSearcher(router, k=2) as srv:
+        report = srv.search_stream(
+            trace.queries, arrival_times=trace.arrivals
+        )
+    before = router._cost[backend].predict(2)
+    observe_scenario(router, report, backend=backend)
+    after = router._cost[backend].predict(2)
+    assert after is not None
+    assert after != before  # the stream's measured cost was ingested
+
+
+def test_observe_scenario_needs_a_backend(rng):
+    X = rng.normal(size=(200, 4))
+    router = Router(seed=0).build(X)
+    router.last_decision = None
+    with pytest.raises(ValueError, match="backend"):
+        observe_scenario(router, object())
