@@ -59,6 +59,13 @@ TRACKED = {
     # skewed-traffic serving: the semantic cache must keep paying on the
     # hot-key scenario (p99_speedup is pre-capped by the bench for
     # cross-machine stability; a broken cache still collapses it to ~1)
+    # quality observability must stay cheap: p99_headroom is the capped
+    # off/on p99 ratio (1.0 = free, floor caught by the tolerance), and
+    # mem_headroom the capped flight-ring ceiling/footprint ratio
+    "BENCH_obs.json": {
+        "obs p99 headroom at 1% sampling": "overhead.p99_headroom",
+        "obs flight memory headroom": "flight.mem_headroom",
+    },
     "BENCH_scenarios.json": {
         "zipfian p99 cache speedup": "zipfian.p99_speedup",
         "zipfian cache hit rate": "zipfian.hit_rate",

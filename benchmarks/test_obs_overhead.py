@@ -1,0 +1,148 @@
+"""Quality observability overhead — sampled stream vs bare stream.
+
+The quality subsystem promises shadow-oracle recall estimation that is
+cheap enough to leave on in production: at the default 1% sampling
+fraction, the served p99 sojourn latency must stay within 5% of the same
+stream served with observability off.  The design makes this structural —
+the oracle pass runs *after* each batch's service wall has been measured,
+so brute-force distance work never lands in a latency sample — and this
+benchmark verifies the end-to-end consequence on the d=16 Gaussian
+serving config.
+
+The flight recorder rides along on the sampled run: its bounded rings
+(span digests, explains, quality samples) must hold a full replay under a
+fixed memory ceiling, so an always-on recorder cannot grow without bound.
+
+Timing interleaves the contenders round by round and compares medians, so
+drifting load on a shared runner hits both sides equally.  Results land
+in ``BENCH_obs.json`` at the repo root (gated by
+``benchmarks/check_regression.py`` and uploaded as a CI artifact) so the
+observability-cost trajectory is trackable across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+from conftest import bench_once
+
+from repro.core import ExactRBC
+from repro.eval import format_table
+from repro.obs import FlightRecorder, QualitySampler
+from repro.serving import BatchPolicy, StreamingSearcher
+
+BENCH_JSON = pathlib.Path(__file__).resolve().parents[1] / "BENCH_obs.json"
+
+#: serving config: d=16 Gaussian, streamed arrivals, adaptive batching
+N, M, DIM, K = 8_000, 1_500, 16, 5
+QPS = 1_000.0  # ~0.3 utilization at the adapted batch size: stable p99
+FRACTION = 0.01
+ROUNDS = 5
+OVERHEAD_BAR = 0.05
+#: always-on flight rings must hold a full replay under this footprint
+FLIGHT_CEILING_BYTES = 4 * 1024 * 1024
+#: caps on the higher-is-better gate ratios, so a lucky run cannot
+#: inflate the committed baseline beyond what a normal run reproduces
+HEADROOM_CAP = 1.25
+MEM_HEADROOM_CAP = 10.0
+
+
+def _run_stream(index, Q, *, quality, flight=None):
+    policy = BatchPolicy(max_delay_ms=100.0, max_batch=64)
+    with StreamingSearcher(
+        index, k=K, policy=policy, quality=quality, flight=flight
+    ) as server:
+        return server.search_stream(Q, qps=QPS)
+
+
+def test_quality_sampling_overhead(rng, report, benchmark):
+    X = rng.normal(size=(N, DIM))
+    Q = rng.normal(size=(M, DIM))
+    index = ExactRBC(seed=0).build(X)
+    flight = FlightRecorder(cooldown_s=1e9)  # record always, never dump
+
+    def experiment():
+        _run_stream(index, Q, quality=None)  # warm caches off the record
+        p99_off, p99_on, walls_off, walls_on = [], [], [], []
+        n_sampled = 0
+        for r in range(ROUNDS):
+            off = _run_stream(index, Q, quality=None)
+            sampler = QualitySampler(
+                index, K, fraction=FRACTION, seed=r
+            )
+            on = _run_stream(index, Q, quality=sampler, flight=flight)
+            p99_off.append(off.latency.p99_s)
+            p99_on.append(on.latency.p99_s)
+            walls_off.append(off.wall_s)
+            walls_on.append(on.wall_s)
+            n_sampled += sampler.n_sampled
+            assert np.array_equal(off.dist, on.dist), (
+                "sampling changed the served answers"
+            )
+        return {
+            "p99_off_ms": float(np.median(p99_off) * 1e3),
+            "p99_on_ms": float(np.median(p99_on) * 1e3),
+            "wall_off_s": float(np.median(walls_off)),
+            "wall_on_s": float(np.median(walls_on)),
+            "n_sampled": n_sampled,
+        }
+
+    r = bench_once(benchmark, experiment)
+
+    overhead = r["p99_on_ms"] / r["p99_off_ms"] - 1.0
+    headroom = min(HEADROOM_CAP, r["p99_off_ms"] / r["p99_on_ms"])
+    mem = flight.memory_bytes()
+    mem_headroom = min(MEM_HEADROOM_CAP, FLIGHT_CEILING_BYTES / max(mem, 1))
+
+    text = format_table(
+        ["mode", "p99 ms", "wall s"],
+        [
+            ["off", r["p99_off_ms"], r["wall_off_s"]],
+            [f"quality {FRACTION:.0%}", r["p99_on_ms"], r["wall_on_s"]],
+        ],
+        title=(
+            f"Quality sampling overhead (n={N}, m={M}, d={DIM}, k={K}, "
+            f"{ROUNDS} rounds, {r['n_sampled']} sampled): "
+            f"p99 {overhead:+.2%}, flight rings {mem / 1024:.0f} KiB"
+        ),
+    )
+    report("obs_overhead", text)
+
+    payload = {}
+    if BENCH_JSON.exists():
+        payload = json.loads(BENCH_JSON.read_text())
+    payload["overhead"] = {
+        "config": {
+            "n": N,
+            "m": M,
+            "dim": DIM,
+            "k": K,
+            "qps": QPS,
+            "fraction": FRACTION,
+            "rounds": ROUNDS,
+        },
+        "p99_off_ms": r["p99_off_ms"],
+        "p99_on_ms": r["p99_on_ms"],
+        "p99_overhead_frac": overhead,
+        "p99_headroom": headroom,
+        "wall_off_s": r["wall_off_s"],
+        "wall_on_s": r["wall_on_s"],
+    }
+    payload["flight"] = {
+        "memory_bytes": mem,
+        "ceiling_bytes": FLIGHT_CEILING_BYTES,
+        "mem_headroom": mem_headroom,
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+
+    assert r["n_sampled"] > 0, "1% sampling never fired on the trace"
+    assert mem > 0 and mem <= FLIGHT_CEILING_BYTES, (
+        f"flight rings hold {mem} bytes, ceiling {FLIGHT_CEILING_BYTES}"
+    )
+    assert overhead <= OVERHEAD_BAR, (
+        f"p99 with 1% sampling is {overhead:+.2%} vs off "
+        f"(bar {OVERHEAD_BAR:.0%}) — the oracle must stay off the "
+        f"measured service path"
+    )

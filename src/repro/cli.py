@@ -23,10 +23,16 @@ Commands
     per-call server and a resident micro-batched server, print latency
     percentiles and throughput, verify the answers are identical.
     ``--trace`` saves a Chrome-trace JSON of the batched run.
+``explain``
+    Serve a few queries with EXPLAIN capture and print each one's
+    decision digest: router choice and per-backend cost scores, cache
+    outcome with the tolerance radius, pruning-rule attribution,
+    quantized-tier stats, shard fan-out.
 ``report``
     Pretty-print any saved observability artifact — a ``RunReport`` /
     ``StreamReport`` / serve-bench JSON, a Chrome-trace file, a span
-    dump, or a metrics-snapshot JSONL.
+    dump, a metrics-snapshot JSONL, or a flight-recorder bundle
+    directory (auto-detected by its ``manifest.json``).
 ``metrics``
     Run a small instrumented serving stream and print the metrics
     registry's Prometheus text exposition plus the SLO summary.
@@ -303,6 +309,8 @@ def _cmd_serve_bench(args) -> int:
         label: str,
         tracer: Tracer | None = None,
         cache=None,
+        quality=None,
+        flight=None,
     ):
         restore = getattr(index, "restore", None)
         if callable(restore):
@@ -325,11 +333,13 @@ def _cmd_serve_bench(args) -> int:
                 replicas=args.replicas,
                 hedge=HedgePolicy() if args.replicas > 1 else None,
                 cache=cache,
+                quality=quality,
+                flight=flight,
             )
         else:
             srv_ = StreamingSearcher(
                 index, k=args.k, policy=policy, ctx=run_ctx, slo=slo,
-                cache=cache,
+                cache=cache, quality=quality, flight=flight,
             )
         with srv_ as srv:
             if arrivals is not None:
@@ -338,11 +348,20 @@ def _cmd_serve_bench(args) -> int:
                 )
             return srv.search_stream(Q, qps=args.qps, name=label)
 
+    flight = None
+    if args.flight:
+        from .obs import FlightRecorder
+
+        flight = FlightRecorder(dir=args.flight)
     tracer = Tracer() if args.trace else None
     per_call = run(1, "per-call")
-    # the cache rides the resident run only: answers must still match the
-    # uncached per-call baseline bit-for-bit (the zero-recall-loss check)
-    batched = run(args.max_batch, "resident+batched", tracer, cache_spec)
+    # the cache / quality sampler / flight recorder ride the resident run
+    # only: answers must still match the uncached per-call baseline
+    # bit-for-bit (the zero-recall-loss check)
+    batched = run(
+        args.max_batch, "resident+batched", tracer, cache_spec,
+        args.quality if args.quality > 0 else None, flight,
+    )
     if tracer is not None:
         tracer.save(args.trace)
         print(f"wrote {args.trace} ({len(tracer)} spans)")
@@ -389,6 +408,17 @@ def _cmd_serve_bench(args) -> int:
             f"({batched.cache_rejects} certified rejects), "
             f"hit rate {batched.cache_hit_rate:.1%}"
         )
+    if batched.quality:
+        q = batched.quality
+        print(
+            f"quality: recall est {q.get('recall_estimate', 0.0):.4f} "
+            f"(target {q.get('target', 0.0):g}) from "
+            f"{q.get('n_sampled', 0)}/{q.get('n_seen', 0)} sampled, "
+            f"{q.get('n_breaches', 0)} breaches"
+        )
+    if flight is not None and flight.bundles:
+        for b in flight.bundles:
+            print(f"flight bundle: {b}")
     route_counts = getattr(index, "route_counts", None)
     if callable(route_counts):
         counts = route_counts()
@@ -420,6 +450,132 @@ def _cmd_serve_bench(args) -> int:
             json.dump(payload, fh, indent=2)
         print(f"wrote {args.json}")
     return 0 if identical else 1
+
+
+def _cmd_explain(args) -> int:
+    from .index import create_index
+    from .serving import BatchPolicy, StreamingSearcher
+
+    X, Q = _load_data(args.data, args.scale, n_queries=max(args.queries, 1))
+    if Q is None:
+        rng = np.random.default_rng(args.seed)
+        take = rng.choice(X.shape[0], size=max(args.queries, 1), replace=False)
+        Q = X[take]
+    index = create_index(
+        args.index, lenient=True, metric="euclidean", seed=args.seed
+    )
+    index.build(X)
+    with StreamingSearcher(
+        index,
+        k=args.k,
+        policy=BatchPolicy(max_batch=1),
+        cache=True if args.cache else None,
+        quality=args.quality if args.quality > 0 else None,
+    ) as srv:
+        for r in range(min(args.queries, Q.shape[0])):
+            dist, idx, e = srv.explain_query(Q[r])
+            pairs = ", ".join(
+                f"#{int(i)} @ {d:.4g}" for d, i in zip(dist, idx) if i >= 0
+            )
+            print(f"query {r}: {pairs}")
+            print(e.summary())
+            if args.json:
+                import json
+
+                print(json.dumps(e.to_dict(), default=str))
+            print()
+    return 0
+
+
+def _print_flight_bundle(bundle, manifest: dict) -> None:
+    import json
+
+    print(
+        f"flight bundle: reason '{manifest.get('reason', '?')}' "
+        f"(v{manifest.get('version', '?')}, clock "
+        f"{manifest.get('now')})"
+    )
+    counts = manifest.get("counts", {})
+    print(
+        "  rings: "
+        + ", ".join(f"{k} {v}" for k, v in sorted(counts.items()))
+    )
+    files = manifest.get("files", {})
+    quality_file = bundle / files.get("quality", "quality.json")
+    if quality_file.exists():
+        q = json.loads(quality_file.read_text())
+        mon = q.get("monitor")
+        if mon:
+            print(
+                f"  quality: recall est {mon.get('recall_estimate', 0.0):.4f} "
+                f"(target {mon.get('target', 0.0):g}) over "
+                f"{mon.get('n_samples', 0)} samples, "
+                f"{mon.get('n_breaches', 0)} breaches"
+            )
+            for label, agg in sorted(mon.get("by_label", {}).items()):
+                print(
+                    f"    {label}: n={agg.get('n', 0)} "
+                    f"recall={agg.get('recall', 1.0):.4f}"
+                )
+        drift = q.get("drift")
+        if drift:
+            from .obs.quality import DriftReport
+
+            print("  " + DriftReport.from_dict(drift).summary())
+    events_file = bundle / files.get("events", "events.json")
+    if events_file.exists():
+        events = json.loads(events_file.read_text())
+        if events:
+            print(f"  events ({len(events)}):")
+            for ev in events[-8:]:
+                extra = ", ".join(
+                    f"{k}={v}" for k, v in ev.items() if k not in ("kind", "t")
+                )
+                print(
+                    f"    {ev.get('kind', '?')} at t={ev.get('t')}"
+                    + (f" ({extra})" if extra else "")
+                )
+    explains_file = bundle / files.get("explains", "explains.json")
+    if explains_file.exists():
+        explains = json.loads(explains_file.read_text())
+        if explains:
+            from .obs.explain import QueryExplain
+
+            print(f"  last of {len(explains)} recorded explains:")
+            last = QueryExplain.from_dict(explains[-1])
+            for line in last.summary().splitlines():
+                print("    " + line)
+    trace_file = bundle / files.get("trace", "trace.json")
+    if trace_file.exists():
+        payload = json.loads(trace_file.read_text())
+        if payload.get("traceEvents"):
+            print()
+            _print_chrome_trace(payload)
+
+
+def _detect_flight_bundle(path):
+    """``(bundle_dir, manifest)`` when ``path`` is a flight bundle (the
+    directory or its manifest.json), else ``None``."""
+    import json
+    from pathlib import Path
+
+    from .obs.flight import BUNDLE_KIND
+
+    p = Path(path)
+    manifest_path = None
+    if p.is_dir() and (p / "manifest.json").exists():
+        manifest_path = p / "manifest.json"
+    elif p.is_file() and p.name == "manifest.json":
+        manifest_path = p
+    if manifest_path is None:
+        return None
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (OSError, ValueError):
+        return None
+    if not isinstance(manifest, dict) or manifest.get("kind") != BUNDLE_KIND:
+        return None
+    return manifest_path.parent, manifest
 
 
 def _print_chrome_trace(payload: dict) -> None:
@@ -547,6 +703,10 @@ def _cmd_report(args) -> int:
 
     from .runtime.report import RunReport, StreamReport
 
+    found = _detect_flight_bundle(args.file)
+    if found is not None:
+        _print_flight_bundle(*found)
+        return 0
     with open(args.file) as fh:
         text = fh.read()
     try:
@@ -747,6 +907,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="cache entry TTL in seconds (<= 0 means no expiry)",
     )
+    s.add_argument(
+        "--quality",
+        type=float,
+        default=0.0,
+        help="shadow-oracle sampling fraction for the resident run "
+        "(0 disables; the windowed recall estimate is printed and "
+        "lands in the JSON report)",
+    )
+    s.add_argument(
+        "--flight",
+        default=None,
+        help="arm a flight recorder on the resident run; breach bundles "
+        "land under this directory",
+    )
     s.add_argument("--scale", type=float, default=0.05)
     s.add_argument("--seed", type=int, default=0)
     s.add_argument("--json", default=None, help="write the full report here")
@@ -756,13 +930,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a Chrome-trace JSON of the batched run here",
     )
 
+    e = sub.add_parser(
+        "explain", help="serve queries with EXPLAIN capture and print each digest"
+    )
+    e.add_argument("data", help="dataset name or .npy path")
+    e.add_argument("-k", type=int, default=1)
+    e.add_argument(
+        "--index",
+        default="rbc-exact",
+        help="registered backend to serve ('router' shows the decision "
+        "and per-backend cost scores)",
+    )
+    e.add_argument("--queries", type=int, default=3, help="queries to explain")
+    e.add_argument(
+        "--cache",
+        action="store_true",
+        help="front the searcher with the proximity cache (hit/reject "
+        "outcomes appear in the digest)",
+    )
+    e.add_argument(
+        "--quality",
+        type=float,
+        default=0.0,
+        help="shadow-oracle sampling fraction (sampled queries show "
+        "their measured recall)",
+    )
+    e.add_argument(
+        "--json",
+        action="store_true",
+        help="also print each explain as one JSON line",
+    )
+    e.add_argument("--scale", type=float, default=0.05)
+    e.add_argument("--seed", type=int, default=0)
+
     r = sub.add_parser(
         "report", help="pretty-print a saved observability artifact"
     )
     r.add_argument(
         "file",
         help="RunReport/StreamReport/serve-bench/scenario-bench JSON, "
-        "Chrome trace, span dump, or metrics JSONL",
+        "Chrome trace, span dump, metrics JSONL, or a flight-recorder "
+        "bundle directory",
     )
 
     mt = sub.add_parser(
@@ -794,6 +1002,7 @@ _HANDLERS = {
     "compare": _cmd_compare,
     "knn-graph": _cmd_knn_graph,
     "serve-bench": _cmd_serve_bench,
+    "explain": _cmd_explain,
     "report": _cmd_report,
     "metrics": _cmd_metrics,
 }

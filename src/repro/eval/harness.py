@@ -140,6 +140,14 @@ def streamed_query(
     percentiles and throughput on top of the usual run observables.
     Results (``report.dist``/``idx``) are in arrival order and identical
     to per-query answers.
+
+    Searcher features pass straight through: ``slo=``, ``cache=``,
+    ``quality=`` (a fraction, ``True``, or a configured
+    :class:`~repro.obs.quality.QualitySampler` — the windowed recall
+    estimate lands in ``report.quality``), and ``flight=`` (a
+    :class:`~repro.obs.flight.FlightRecorder`) are forwarded to the
+    :class:`~repro.serving.searcher.StreamingSearcher` constructor;
+    anything else reaches ``index.query``.
     """
     from ..serving import StreamingSearcher  # serving sits above eval
 

@@ -137,6 +137,9 @@ class Router(Index):
         self.last_decision: RouteDecision | None = None
         self.last_stats = None
         self.history: deque[RouteDecision] = deque(maxlen=256)
+        #: report ids already folded into the cost model (bounded FIFO)
+        self._seen_reports: set[str] = set()
+        self._seen_order: deque[str] = deque(maxlen=4096)
 
     # ------------------------------------------------------------ build
 
@@ -276,9 +279,24 @@ class Router(Index):
 
     def observe_report(self, name: str, report) -> None:
         """Ingest an external RunReport/StreamReport for backend ``name``
-        (e.g. from the eval harness) into the cost model."""
+        (e.g. from the eval harness) into the cost model.
+
+        Idempotent by ``report.report_id``: the EWMA is a weighted
+        average, so re-observing the same report (a calibration-seeded
+        report handed back by two harness layers, a report summarized
+        twice) would keep pulling the model toward one sample.  Seen ids
+        are tracked in a bounded FIFO and duplicates are dropped.
+        """
         if name not in self._cost:
             return
+        rid = getattr(report, "report_id", None)
+        if rid is not None:
+            if rid in self._seen_reports:
+                return
+            if len(self._seen_order) == self._seen_order.maxlen:
+                self._seen_reports.discard(self._seen_order[0])
+            self._seen_order.append(rid)
+            self._seen_reports.add(rid)
         wall = float(getattr(report, "wall_s", 0.0) or 0.0)
         m = getattr(report, "n_queries", None)
         if m is None:

@@ -15,13 +15,27 @@ run after it ends) gets a *live* counterpart here:
   packed-list slack);
 * :mod:`repro.obs.slo` — a rolling-window :class:`SLOMonitor` tracking
   latency percentiles and error-budget burn against the batcher's
-  latency budget, with breach callbacks the batcher consumes.
+  latency budget, with breach callbacks the batcher consumes;
+* :mod:`repro.obs.quality` — the answer-quality counterpart: shadow-
+  oracle recall sampling (:class:`QualitySampler`), a rolling
+  :class:`QualityMonitor` with breach callbacks, and query-distribution
+  drift detection (:class:`DriftMonitor` / :class:`DriftReport`);
+* :mod:`repro.obs.explain` — :class:`QueryExplain`, the structured
+  per-query account of routing, pruning, caching, and sharding;
+* :mod:`repro.obs.flight` — the :class:`FlightRecorder`: always-on
+  bounded telemetry rings dumped as a self-contained bundle on breach.
 
 This package sits at the bottom of the layering (stdlib + numpy only), so
 every other module can import it freely.
 """
 
-from .collectors import install_index_collectors, install_standard_collectors
+from .collectors import (
+    install_index_collectors,
+    install_quality_collectors,
+    install_standard_collectors,
+)
+from .explain import QueryExplain
+from .flight import FlightRecorder
 from .metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -29,6 +43,13 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
     registry,
+)
+from .quality import (
+    DriftMonitor,
+    DriftReport,
+    QualityMonitor,
+    QualitySample,
+    QualitySampler,
 )
 from .slo import SLOMonitor
 from .tracing import NULL_TRACER, Span, SpanContext, Tracer, chrome_trace
@@ -47,5 +68,13 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "install_standard_collectors",
     "install_index_collectors",
+    "install_quality_collectors",
     "SLOMonitor",
+    "QualitySample",
+    "QualityMonitor",
+    "QualitySampler",
+    "DriftMonitor",
+    "DriftReport",
+    "QueryExplain",
+    "FlightRecorder",
 ]

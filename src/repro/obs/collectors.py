@@ -25,6 +25,7 @@ __all__ = [
     "install_standard_collectors",
     "install_index_collectors",
     "install_cache_collectors",
+    "install_quality_collectors",
 ]
 
 
@@ -180,6 +181,82 @@ def install_cache_collectors(
             "repro_semantic_cache_invalidations_total",
             "entries dropped because the index mutated",
         ).set(counters.invalidated)
+
+    reg.add_collector(collect)
+    return reg
+
+
+def install_quality_collectors(
+    sampler, reg: MetricsRegistry | None = None
+) -> MetricsRegistry:
+    """Attach answer-quality gauges for one
+    :class:`~repro.obs.quality.QualitySampler` (held weakly): the
+    windowed recall estimate, sample/breach counters, and — when a
+    drift monitor is attached — the live-vs-build distribution gauges
+    (nearest-representative distance ratio, ownership-hit entropy, and
+    the live Theorem-1 ``c`` estimate)."""
+    reg = reg if reg is not None else default_registry
+    ref = weakref.ref(sampler)
+
+    def collect(r: MetricsRegistry) -> None:
+        s = ref()
+        if s is None:
+            return
+        mon = s.monitor
+        r.gauge(
+            "repro_quality_recall_estimate",
+            "windowed shadow-oracle recall@k estimate",
+        ).set(mon.recall_estimate)
+        r.gauge(
+            "repro_quality_rank_error",
+            "windowed mean excess rank of served ids",
+        ).set(mon.rank_error_mean)
+        r.gauge(
+            "repro_quality_distance_ratio",
+            "windowed mean served-over-oracle NN distance ratio",
+        ).set(mon.distance_ratio_mean)
+        r.gauge(
+            "repro_quality_samples_total",
+            "queries re-answered by the shadow oracle",
+        ).set(mon.n_samples)
+        r.gauge(
+            "repro_quality_breaches_total",
+            "recall-target breach signals fired",
+        ).set(mon.n_breaches)
+        r.gauge(
+            "repro_quality_seen_total",
+            "queries the sampler hashed (sampled or not)",
+        ).set(s.n_seen)
+        drift = getattr(s, "drift", None)
+        if drift is None:
+            return
+        rep = drift.report()
+        r.gauge(
+            "repro_drift_rep_dist_ratio",
+            "live over build-time mean nearest-representative distance",
+        ).set(rep.dist_ratio)
+        r.gauge(
+            "repro_drift_rep_entropy",
+            "normalized entropy of live representative hits",
+        ).set(rep.rep_entropy)
+        r.gauge(
+            "repro_drift_entropy_baseline",
+            "normalized entropy of build-time ownership-list sizes",
+        ).set(rep.baseline_entropy)
+        if rep.c_live is not None:
+            r.gauge(
+                "repro_drift_c_live",
+                "live expansion-rate estimate (Theorem 1 inverted)",
+            ).set(rep.c_live)
+        if rep.c_build is not None:
+            r.gauge(
+                "repro_drift_c_build",
+                "build-time expansion-rate estimate",
+            ).set(rep.c_build)
+        r.gauge(
+            "repro_drift_flag",
+            "1 when the live window crossed a drift threshold",
+        ).set(1.0 if rep.drifted else 0.0)
 
     reg.add_collector(collect)
     return reg

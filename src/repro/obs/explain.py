@@ -1,0 +1,179 @@
+"""Per-query EXPLAIN: a structured account of how one answer was made.
+
+``submit(q, explain=True)`` (or the one-shot
+:meth:`~repro.serving.searcher.StreamingSearcher.explain_query`) yields a
+:class:`QueryExplain` alongside the answer: which backend served it and
+why the router picked it (decision + per-backend cost-model scores),
+which pruning rules did the stage-1/stage-2 work (SearchStats deltas for
+the serving micro-batch), what the proximity cache decided (hit, reject
+with the measured delta vs the tolerance radius, bypass), the quantized
+tier's bound statistics, and — under the sharded searcher — the scatter
+fan-out and hedges.  The ``repro explain`` CLI renders the same object.
+
+Pruning-rule attribution is per *micro-batch*: the kernels count rules
+per dispatched batch, so a query's attribution is the batch that served
+it.  That is the honest granularity — rules are evaluated on the batch's
+fused kernel calls, not per row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["QueryExplain"]
+
+
+@dataclass
+class QueryExplain:
+    """Structured explanation of one served query (or one batch)."""
+
+    #: live-path ticket (``None`` for stream rows / batch digests)
+    ticket: int | None = None
+    #: row inside the served micro-batch (``None`` for batch digests)
+    row: int | None = None
+    k: int = 0
+    #: backend that served the batch ("cache" when every row hit)
+    backend: str = ""
+    #: router degradation rung at serve time (``None`` when unrouted)
+    rung: int | None = None
+    batch_size: int = 0
+    service_s: float = 0.0
+    #: serve time on the caller's clock
+    t: float = 0.0
+    #: router decision (reason, predicted/measured seconds, budget,
+    #: c_est) plus ``scores``: predicted cost per candidate backend
+    router: dict | None = None
+    #: pruning-rule counters attributed to the serving micro-batch
+    rules: dict = field(default_factory=dict)
+    #: proximity-cache outcome for this row: ``outcome`` is one of
+    #: hit / reject / miss / disabled / off, with the measured ``delta``
+    #: and the nearest key's certified ``radius`` when one existed
+    cache: dict | None = None
+    #: quantized-tier stats of the serving batch (bounds, k', recall)
+    quant: dict | None = None
+    #: scatter-gather shape under the sharded searcher (fan-out, hedges)
+    shards: dict | None = None
+    #: whether the shadow oracle sampled this query, and its recall
+    sampled: bool = False
+    recall: float | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "ticket": self.ticket,
+            "row": self.row,
+            "k": self.k,
+            "backend": self.backend,
+            "rung": self.rung,
+            "batch_size": self.batch_size,
+            "service_s": self.service_s,
+            "t": self.t,
+            "router": self.router,
+            "rules": dict(self.rules),
+            "cache": self.cache,
+            "quant": self.quant,
+            "shards": self.shards,
+            "sampled": self.sampled,
+            "recall": self.recall,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "QueryExplain":
+        return cls(
+            ticket=d.get("ticket"),
+            row=d.get("row"),
+            k=int(d.get("k", 0)),
+            backend=str(d.get("backend", "")),
+            rung=d.get("rung"),
+            batch_size=int(d.get("batch_size", 0)),
+            service_s=float(d.get("service_s", 0.0)),
+            t=float(d.get("t", 0.0)),
+            router=d.get("router"),
+            rules=dict(d.get("rules", {})),
+            cache=d.get("cache"),
+            quant=d.get("quant"),
+            shards=d.get("shards"),
+            sampled=bool(d.get("sampled", False)),
+            recall=d.get("recall"),
+        )
+
+    def summary(self) -> str:
+        """Human-readable rendering (the ``repro explain`` CLI body)."""
+        who = (
+            f"ticket {self.ticket}"
+            if self.ticket is not None
+            else (f"row {self.row}" if self.row is not None else "batch")
+        )
+        lines = [
+            f"EXPLAIN {who}: k={self.k} served by {self.backend or '?'}"
+            + (f" (rung {self.rung})" if self.rung is not None else "")
+            + f" in a {self.batch_size}-query batch, "
+            f"{self.service_s * 1e3:.3f} ms service"
+        ]
+        if self.router:
+            r = self.router
+            lines.append(
+                f"  router: {r.get('reason', '?')}; predicted "
+                f"{(r.get('predicted_s') or 0.0) * 1e3:.3f} ms"
+                + (
+                    f", measured {r['measured_s'] * 1e3:.3f} ms"
+                    if r.get("measured_s") is not None
+                    else ""
+                )
+                + (
+                    f", budget {r['budget_s'] * 1e3:.1f} ms"
+                    if r.get("budget_s") is not None
+                    else ""
+                )
+                + (
+                    f", c_est {r['c_est']:.2f}"
+                    if r.get("c_est") is not None
+                    else ""
+                )
+            )
+            scores = r.get("scores") or {}
+            for name in sorted(scores):
+                mark = " <-- chosen" if name == self.backend else ""
+                lines.append(
+                    f"    {name}: {scores[name] * 1e3:.3f} ms predicted{mark}"
+                )
+        if self.cache:
+            c = self.cache
+            bits = [f"outcome {c.get('outcome', '?')}"]
+            if c.get("delta") is not None:
+                bits.append(f"delta {c['delta']:.4g}")
+            if c.get("radius") is not None:
+                bits.append(f"radius {c['radius']:.4g}")
+            lines.append("  cache: " + ", ".join(bits))
+        if self.rules:
+            lines.append(
+                "  pruning (batch): "
+                + ", ".join(f"{k}={v}" for k, v in sorted(self.rules.items()))
+            )
+        if self.quant:
+            q = self.quant
+            bits = [
+                f"{q.get('quantizer', '?')}/{q.get('strategy', '?')}"
+                f" ({q.get('backend', '?')})"
+            ]
+            if "k_prime" in q:
+                bits.append(f"k'={q['k_prime']}")
+            if "recall_before_rerank" in q:
+                bits.append(f"recall@rerank {q['recall_before_rerank']:.4f}")
+            lines.append("  quant: " + ", ".join(bits))
+        if self.shards:
+            s = self.shards
+            lines.append(
+                f"  shards: fan-out {s.get('fan_out', 0)}, "
+                f"{s.get('hedges', 0)} hedges, "
+                f"{s.get('rounds', 0)} rounds"
+            )
+        if self.sampled:
+            lines.append(
+                "  quality: shadow-oracle sampled"
+                + (
+                    f", recall {self.recall:.4f}"
+                    if self.recall is not None
+                    else ""
+                )
+            )
+        return "\n".join(lines)

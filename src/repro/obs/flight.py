@@ -1,0 +1,226 @@
+"""Flight recorder: an always-on bounded telemetry ring with breach dumps.
+
+Production incidents are diagnosed from what was recorded *before* the
+page fired.  The :class:`FlightRecorder` keeps small bounded rings of
+span digests (one per served micro-batch), recent
+:class:`~repro.obs.explain.QueryExplain` digests, shadow-oracle quality
+samples, metric snapshots, and operational events — cheap enough to
+leave on in steady state.  When an SLO or quality breach fires (the
+serving front-end wires the callbacks), :meth:`dump` writes a
+self-contained **bundle directory**:
+
+* ``manifest.json`` — ``{"kind": "flight-bundle", ...}`` with the
+  reason, ring counts, and the file map (the ``repro report`` CLI
+  auto-detects this);
+* ``trace.json`` — the span-digest ring as Chrome ``traceEvents``;
+* ``metrics.jsonl`` — the recorded metric snapshots (one line each);
+* ``explains.json`` — the recent QueryExplain ring;
+* ``quality.json`` — quality samples plus the monitor report and the
+  :class:`~repro.obs.quality.DriftReport` at dump time;
+* ``events.json`` — breaches, cache disables, ladder moves.
+
+Dumps are cooldown-paced on the wall clock and capped at
+``max_bundles`` per recorder, so a flapping breach cannot fill a disk.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import weakref
+from collections import deque
+from pathlib import Path
+
+__all__ = ["FlightRecorder"]
+
+#: manifest schema marker the CLI keys off
+BUNDLE_KIND = "flight-bundle"
+
+
+class FlightRecorder:
+    """Bounded telemetry rings plus breach-triggered bundle dumps.
+
+    Parameters
+    ----------
+    dir:
+        directory the bundles land under (created on first dump);
+        defaults to ``./flight-bundles``.
+    explain_capacity / span_capacity / quality_capacity /
+    event_capacity / snapshot_capacity:
+        ring sizes.  The defaults hold a recorder to a few hundred KiB
+        (:meth:`memory_bytes` measures the real footprint).
+    cooldown_s:
+        minimum wall-clock spacing between dumps.
+    max_bundles:
+        lifetime cap on bundles written.
+    """
+
+    def __init__(
+        self,
+        *,
+        dir=None,
+        explain_capacity: int = 256,
+        span_capacity: int = 2048,
+        quality_capacity: int = 512,
+        event_capacity: int = 256,
+        snapshot_capacity: int = 32,
+        cooldown_s: float = 5.0,
+        max_bundles: int = 8,
+    ) -> None:
+        self.dir = Path(dir) if dir is not None else Path("flight-bundles")
+        self.explains: deque[dict] = deque(maxlen=int(explain_capacity))
+        self.spans: deque[dict] = deque(maxlen=int(span_capacity))
+        self.quality: deque[dict] = deque(maxlen=int(quality_capacity))
+        self.events: deque[dict] = deque(maxlen=int(event_capacity))
+        self.snapshots: deque[dict] = deque(maxlen=int(snapshot_capacity))
+        self.cooldown_s = float(cooldown_s)
+        self.max_bundles = int(max_bundles)
+        #: bundle directories written so far
+        self.bundles: list[Path] = []
+        self.n_dumps = 0
+        self.n_suppressed = 0
+        self._last_dump_wall: float | None = None
+        self._quality_ref = None
+        self._metrics_ref = None
+
+    # ------------------------------------------------------------ recording
+    def record_span(self, name: str, *, ts: float, dur_s: float, **attrs) -> None:
+        """Append one span digest (``ts`` on the caller's clock)."""
+        self.spans.append(
+            {"name": name, "ts": float(ts), "dur_s": float(dur_s), **attrs}
+        )
+
+    def record_explain(self, explain) -> None:
+        """Append one QueryExplain (stored as its dict form)."""
+        self.explains.append(
+            explain.to_dict() if hasattr(explain, "to_dict") else dict(explain)
+        )
+
+    def record_quality(self, sample) -> None:
+        self.quality.append(
+            sample.to_dict() if hasattr(sample, "to_dict") else dict(sample)
+        )
+
+    def record_event(self, kind: str, *, now: float | None = None, **payload) -> None:
+        self.events.append({"kind": kind, "t": now, **payload})
+
+    def record_metrics(self, registry, *, now: float | None = None) -> None:
+        """Append one metrics snapshot (runs the registry collectors)."""
+        self.snapshots.append({"ts": now, "metrics": registry.snapshot()})
+
+    def attach(self, *, quality=None, metrics=None) -> None:
+        """Wire live sources read at dump time (held weakly): the
+        :class:`~repro.obs.quality.QualitySampler` for a fresh monitor
+        report + DriftReport, and a metrics registry for a final
+        snapshot."""
+        if quality is not None:
+            self._quality_ref = weakref.ref(quality)
+        if metrics is not None:
+            self._metrics_ref = weakref.ref(metrics)
+
+    # ------------------------------------------------------------ footprint
+    def memory_bytes(self) -> int:
+        """Approximate resident footprint of the rings (serialized
+        size — what a dump would write)."""
+        total = 0
+        for ring in (
+            self.explains,
+            self.spans,
+            self.quality,
+            self.events,
+            self.snapshots,
+        ):
+            for item in ring:
+                total += len(json.dumps(item, default=str))
+        return total
+
+    # ----------------------------------------------------------------- dump
+    def _chrome_trace(self) -> dict:
+        events = []
+        for i, s in enumerate(self.spans):
+            attrs = {
+                k: v for k, v in s.items() if k not in ("name", "ts", "dur_s")
+            }
+            events.append(
+                {
+                    "name": s["name"],
+                    "ph": "X",
+                    "ts": s["ts"] * 1e6,
+                    "dur": max(s["dur_s"], 0.0) * 1e6,
+                    "pid": 0,
+                    "tid": 0,
+                    "args": attrs,
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def dump(self, reason: str, *, now: float | None = None) -> Path | None:
+        """Write one bundle directory; returns its path, or ``None``
+        when suppressed by the cooldown or the bundle cap.
+
+        ``now`` is the caller's (possibly virtual) clock, recorded in
+        the manifest; the cooldown itself runs on the wall clock so a
+        replayed breach storm is paced the same way a live one is.
+        """
+        wall = time.perf_counter()
+        if (
+            self._last_dump_wall is not None
+            and wall - self._last_dump_wall < self.cooldown_s
+        ) or len(self.bundles) >= self.max_bundles:
+            self.n_suppressed += 1
+            return None
+        self._last_dump_wall = wall
+        self.n_dumps += 1
+
+        quality_src = self._quality_ref() if self._quality_ref else None
+        metrics_src = self._metrics_ref() if self._metrics_ref else None
+        if metrics_src is not None:
+            self.record_metrics(metrics_src, now=now)
+
+        bundle = self.dir / f"flight-{len(self.bundles):03d}-{reason}"
+        bundle.mkdir(parents=True, exist_ok=True)
+
+        (bundle / "trace.json").write_text(json.dumps(self._chrome_trace()))
+        with open(bundle / "metrics.jsonl", "w") as fh:
+            for snap in self.snapshots:
+                fh.write(json.dumps(snap, default=str) + "\n")
+        (bundle / "explains.json").write_text(
+            json.dumps(list(self.explains), default=str)
+        )
+        (bundle / "events.json").write_text(
+            json.dumps(list(self.events), default=str)
+        )
+        quality_payload: dict = {"samples": list(self.quality)}
+        if quality_src is not None:
+            quality_payload["monitor"] = quality_src.monitor.report()
+            drift = getattr(quality_src, "drift", None)
+            if drift is not None:
+                quality_payload["drift"] = drift.report().to_dict()
+        (bundle / "quality.json").write_text(
+            json.dumps(quality_payload, default=str)
+        )
+
+        manifest = {
+            "kind": BUNDLE_KIND,
+            "version": 1,
+            "reason": reason,
+            "created_ts": time.time(),
+            "now": now,
+            "counts": {
+                "spans": len(self.spans),
+                "explains": len(self.explains),
+                "quality_samples": len(self.quality),
+                "events": len(self.events),
+                "metric_snapshots": len(self.snapshots),
+            },
+            "files": {
+                "trace": "trace.json",
+                "metrics": "metrics.jsonl",
+                "explains": "explains.json",
+                "quality": "quality.json",
+                "events": "events.json",
+            },
+        }
+        (bundle / "manifest.json").write_text(json.dumps(manifest, indent=2))
+        self.bundles.append(bundle)
+        return bundle

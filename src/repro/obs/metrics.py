@@ -34,6 +34,7 @@ Prometheus client conventions; tests build private registries.
 from __future__ import annotations
 
 import json
+import math
 import threading
 import time
 
@@ -61,13 +62,43 @@ def _label_key(labelnames: tuple, labels: dict) -> tuple:
     return tuple(str(labels[name]) for name in labelnames)
 
 
+def _escape_label(val: str) -> str:
+    """Prometheus label-value escaping: backslash, quote, newline."""
+    return (
+        str(val)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _render_labels(labelnames: tuple, key: tuple) -> str:
     if not labelnames:
         return ""
     inner = ",".join(
-        f'{name}="{val}"' for name, val in zip(labelnames, key)
+        f'{name}="{_escape_label(val)}"'
+        for name, val in zip(labelnames, key)
     )
     return "{" + inner + "}"
+
+
+def _fmt_value(val: float) -> str:
+    """Exposition-format sample value at full precision.
+
+    ``%g`` truncates to 6 significant digits, so a counter past 1e6
+    rendered ``1.23457e+06`` no longer round-trips — and a histogram's
+    ``_count`` would disagree with its summed shard totals by parsing.
+    Integral values render as integers; everything else uses ``repr``,
+    which is shortest-exact for floats.
+    """
+    f = float(val)
+    if math.isnan(f):
+        return "NaN"
+    if math.isinf(f):
+        return "+Inf" if f > 0 else "-Inf"
+    if f.is_integer() and abs(f) < 2**53:
+        return str(int(f))
+    return repr(f)
 
 
 class _Metric:
@@ -312,10 +343,10 @@ class MetricsRegistry:
                         merged = base[:-1] + "," + le[1:]
                     else:
                         merged = le
-                    lines.append(f"{name}_bucket{merged} {val:g}")
+                    lines.append(f"{name}_bucket{merged} {_fmt_value(val)}")
                 else:
                     labels = _render_labels(metric.labelnames, key)
-                    lines.append(f"{name}{suffix}{labels} {val:g}")
+                    lines.append(f"{name}{suffix}{labels} {_fmt_value(val)}")
         return "\n".join(lines) + "\n"
 
     def snapshot(self) -> dict:

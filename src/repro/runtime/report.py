@@ -20,6 +20,8 @@ legacy ``QueryRun`` fields (``dist``, ``idx``, ``wall_s``, ``evals``,
 
 from __future__ import annotations
 
+import itertools
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -46,6 +48,15 @@ class PhaseReport:
     flops: float = 0.0
     bytes: float = 0.0
     n_ops: int = 0
+
+
+_report_seq = itertools.count()
+
+
+def _new_report_id() -> str:
+    """Process-unique report identity; consumers that ingest reports
+    (the router's cost model) use it to deduplicate re-observations."""
+    return f"r{os.getpid():x}-{next(_report_seq):x}"
 
 
 @dataclass
@@ -78,6 +89,9 @@ class RunReport:
     #: re-rank bound, recall before re-rank); ``None`` when the run did
     #: not touch compressed codes
     quant: dict | None = None
+    #: process-unique identity; observation sinks deduplicate on it, so
+    #: feeding the same report twice cannot double-count
+    report_id: str = field(default_factory=_new_report_id)
 
     # ------------------------------------------------------------ accessors
     def sim_time(self, machine: MachineSpec) -> float:
@@ -175,6 +189,7 @@ class RunReport:
             "rule_counts": dict(self.rule_counts),
             "quant": dict(self.quant) if self.quant else None,
             "sims": {name: sim.time_s for name, sim in self.sims.items()},
+            "report_id": self.report_id,
         }
 
     @classmethod
@@ -207,6 +222,7 @@ class RunReport:
             sims={
                 name: _SimTime(float(t)) for name, t in d.get("sims", {}).items()
             },
+            report_id=d.get("report_id") or _new_report_id(),
             **cls._extra_from_dict(d),
         )
 
@@ -297,6 +313,10 @@ class StreamReport(RunReport):
     #: :meth:`repro.obs.slo.SLOMonitor.report` of the stream, when a
     #: monitor was attached (``None`` otherwise)
     slo: dict | None = None
+    #: :meth:`repro.obs.quality.QualitySampler.report` of the stream —
+    #: the answer-quality sibling of ``slo`` (windowed recall estimate,
+    #: sample count, breach count, drift); ``None`` when no sampler ran
+    quality: dict | None = None
     #: shards the serving index was partitioned over (0 = unsharded)
     n_shards: int = 0
     #: scatter-gather communication waves over the stream (one per
@@ -356,6 +376,20 @@ class StreamReport(RunReport):
                 f"burn {self.slo.get('burn_rate', 0.0):.2f}, "
                 f"{self.slo.get('n_breaches', 0)} breaches"
             )
+        if self.quality:
+            q = self.quality
+            lines.append(
+                f"  quality: recall est {q.get('recall_estimate', 0.0):.4f} "
+                f"(target {q.get('target', 0.0):g}) over "
+                f"{q.get('n_samples', 0)} samples, "
+                f"{q.get('n_breaches', 0)} breaches"
+            )
+            drift = q.get("drift")
+            if drift and drift.get("drifted"):
+                lines.append(
+                    "  drift: "
+                    + "; ".join(drift.get("reasons") or ["thresholds crossed"])
+                )
         return "\n".join(lines + self._detail_lines())
 
     def to_dict(self) -> dict:
@@ -371,6 +405,7 @@ class StreamReport(RunReport):
             latency=self.latency.to_dict(),
             wait=self.wait.to_dict(),
             slo=self.slo,
+            quality=self.quality,
             n_shards=self.n_shards,
             rounds=self.rounds,
             hedges=self.hedges,
@@ -395,6 +430,9 @@ class StreamReport(RunReport):
             "latency": LatencyStats.from_dict(d.get("latency", {})),
             "wait": LatencyStats.from_dict(d.get("wait", {})),
             "slo": d.get("slo"),
+            # quality arrived after slo; old payloads load as None and
+            # the summary simply omits the line (graceful zeros)
+            "quality": d.get("quality"),
             "n_shards": int(d.get("n_shards", 0)),
             "rounds": int(d.get("rounds", 0)),
             "hedges": int(d.get("hedges", 0)),

@@ -192,6 +192,26 @@ class ProximityCache:
         self._buf_version = 0
         self._seen = self._data_version()
         self._ranks: np.ndarray | None = None
+        #: serving front-ends skip a disabled cache entirely (the
+        #: quality monitor's breach hook flips this — recall pressure
+        #: takes the cache out of the path until re-enabled)
+        self.enabled = True
+        #: why the cache was last disabled (diagnostics)
+        self.disabled_reason: str | None = None
+        #: per-batch lookup detail for EXPLAIN: ``delta`` / ``radius``
+        #: per row (``None`` while the store is empty) and the hit mask
+        self.last_lookup: dict | None = None
+
+    # ------------------------------------------------------------- gating
+    def disable(self, reason: str | None = None) -> None:
+        """Take the cache out of the serving path (entries are kept;
+        :meth:`enable` puts it back)."""
+        self.enabled = False
+        self.disabled_reason = reason
+
+    def enable(self) -> None:
+        self.enabled = True
+        self.disabled_reason = None
 
     # ------------------------------------------------------------ liveness
     def __len__(self) -> int:
@@ -331,6 +351,7 @@ class ProximityCache:
         hit = np.zeros(m, dtype=bool)
         if self._n == 0:
             self.counters.misses += m
+            self.last_lookup = {"hit": hit.copy(), "delta": None, "radius": None}
             return hit, None, None
 
         D = self._key_dists(Qb)
@@ -347,6 +368,11 @@ class ProximityCache:
             if np.array_equal(Qb[r], self._keys[j[r]]):
                 ok[r] = True
         hit[:] = ok
+        self.last_lookup = {
+            "hit": hit.copy(),
+            "delta": delta.copy(),
+            "radius": self._radius[: self._n][j].copy(),
+        }
 
         n_hit = int(np.count_nonzero(ok))
         self.counters.hits += n_hit

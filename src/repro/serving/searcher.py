@@ -42,9 +42,13 @@ from ..metrics.engine import rescore_pairs
 from ..obs.collectors import (
     install_cache_collectors,
     install_index_collectors,
+    install_quality_collectors,
     install_standard_collectors,
 )
+from ..obs.explain import QueryExplain
+from ..obs.flight import FlightRecorder
 from ..obs.metrics import MetricsRegistry
+from ..obs.quality import DriftMonitor, QualitySampler
 from ..obs.slo import SLOMonitor
 from ..runtime.context import ExecContext, TimingRecorder, resolve_ctx
 from ..runtime.report import LatencyStats, StreamReport, collect_report
@@ -99,6 +103,21 @@ class StreamingSearcher:
         rescoring available (the certificate math needs all three); the
         searcher over-fetches ``k + 1`` neighbors on misses to learn each
         entry's radius, and still serves ``k`` per answer.
+    quality:
+        optional shadow-oracle recall sampling: pass a configured
+        :class:`~repro.obs.quality.QualitySampler`, ``True`` for the
+        default 1% sampler, or a float fraction.  Sampled queries are
+        re-answered by brute force *after* each batch's service time is
+        taken (the virtual clock never sees the oracle) and fed to the
+        sampler's :class:`~repro.obs.quality.QualityMonitor`.  Breaches
+        are the symmetric counterpart of SLO pressure: a degradable
+        index is walked back *up* its quality ladder (``restore()``) and
+        an attached proximity cache is disabled.
+    flight:
+        optional :class:`~repro.obs.flight.FlightRecorder`: the searcher
+        feeds its rings (batch span digests, batch explains, quality
+        samples, breach events) and wires SLO/quality breaches to
+        :meth:`~repro.obs.flight.FlightRecorder.dump`.
     query_kwargs:
         extra keyword arguments forwarded to every ``index.query`` call
         (e.g. ``n_probes=2``).
@@ -127,6 +146,8 @@ class StreamingSearcher:
         slo: SLOMonitor | None = None,
         metrics: MetricsRegistry | None = None,
         cache: ProximityCache | CachePolicy | bool | None = None,
+        quality: QualitySampler | float | bool | None = None,
+        flight: FlightRecorder | None = None,
         **query_kwargs,
     ) -> None:
         getattr(index, "_require_built", lambda: None)()
@@ -172,6 +193,38 @@ class StreamingSearcher:
         self.rule_counts: dict[str, int] = {}
         #: ticket -> open root span of a live-submitted query
         self._qspans: dict = {}
+        self.flight = flight
+        self.quality: QualitySampler | None = None
+        if quality is not None and quality is not False:
+            if isinstance(quality, QualitySampler):
+                self.quality = quality
+            else:
+                frac = 0.01 if quality is True else float(quality)
+                self.quality = QualitySampler(
+                    index,
+                    self.k_serve,
+                    fraction=frac,
+                    drift=DriftMonitor.from_index(index),
+                )
+            mon = self.quality.monitor
+            if capabilities_for(index).degradable:
+                # the symmetric counterpart of SLO pressure: a recall
+                # breach walks the router back *up* its quality ladder
+                mon.on_breach(lambda _m: index.restore())
+            if self.cache is not None:
+                mon.on_breach(lambda _m: self._disable_cache_on_breach())
+            if flight is not None:
+                mon.on_breach(
+                    lambda m: flight.record_event(
+                        "quality-breach",
+                        now=m.last_fired_at,
+                        recall_estimate=m.recall_estimate,
+                        target=m.target,
+                    )
+                )
+                mon.on_breach(
+                    lambda m: flight.dump("quality-breach", now=m.last_fired_at)
+                )
         self.slo = slo
         if slo is not None:
             # late-bound on purpose: search_stream swaps in a per-stream
@@ -181,6 +234,26 @@ class StreamingSearcher:
                 # degradable indexes (the router) also walk their own
                 # quality ladder under SLO pressure
                 slo.on_breach(lambda _mon: index.degrade())
+            if flight is not None:
+                slo.on_breach(
+                    lambda mon: flight.record_event(
+                        "slo-breach", now=getattr(mon, "_last_fired", None)
+                    )
+                )
+                slo.on_breach(
+                    lambda mon: flight.dump(
+                        "slo-breach", now=getattr(mon, "_last_fired", None)
+                    )
+                )
+        if flight is not None:
+            flight.attach(quality=self.quality, metrics=metrics)
+        #: explain plumbing: tickets awaiting an explain, finished
+        #: explains, and the last observed batch's digest
+        self._explain_tickets: set[int] = set()
+        self._explains: dict[int, QueryExplain] = {}
+        self._batch_info: dict | None = None
+        self._last_hit_mask: np.ndarray | None = None
+        self._last_wave: dict | None = None
         self.metrics = metrics
         #: batcher backoffs already mirrored into the backoff counter
         self._backoffs_seen = 0
@@ -189,6 +262,8 @@ class StreamingSearcher:
             install_index_collectors(index, metrics)
             if self.cache is not None:
                 install_cache_collectors(self.cache, metrics)
+            if self.quality is not None:
+                install_quality_collectors(self.quality, metrics)
             self._m_served = metrics.counter(
                 "repro_queries_served_total", "queries answered by the searcher"
             )
@@ -277,11 +352,39 @@ class StreamingSearcher:
         batching, the virtual clock, telemetry — is inherited unchanged.
         ``width`` overrides the dispatch top-k (default ``self.k``).
         """
+        self._last_wave = None
         t0 = time.perf_counter()
         dist, idx = self._dispatch(Qb, width)
         return dist, idx, time.perf_counter() - t0
 
     def _serve_batch(
+        self, Qb: np.ndarray, now: float
+    ) -> tuple[np.ndarray, np.ndarray, float]:
+        """Serve one micro-batch, then run the off-path observability
+        pass (shadow-oracle sampling, explain capture, flight rings).
+
+        The observability work happens strictly *after* the batch's
+        service time has been measured by :meth:`_serve_batch_core`, so
+        the virtual clock — and the latency percentiles built on it —
+        never see the oracle's brute-force pass or the explain
+        bookkeeping.  With nothing attached the wrapper is two attribute
+        checks.
+        """
+        active = (
+            self.quality is not None
+            or self.flight is not None
+            or bool(self._explain_tickets)
+        )
+        if not active:
+            self._batch_info = None
+            return self._serve_batch_core(Qb, now)
+        rules_before = dict(self.rule_counts)
+        self._last_hit_mask = None
+        dist, idx, service = self._serve_batch_core(Qb, now)
+        self._observe_batch(Qb, dist, idx, service, now, rules_before)
+        return dist, idx, service
+
+    def _serve_batch_core(
         self, Qb: np.ndarray, now: float
     ) -> tuple[np.ndarray, np.ndarray, float]:
         """Serve one micro-batch: cache hits first, index for the rest.
@@ -292,13 +395,18 @@ class StreamingSearcher:
         misses dispatch through the (unchanged, subclass-overridable)
         :meth:`_timed_dispatch` at width ``k + 1`` and are admitted as new
         keys; the cache's own work (lookup GEMM, hit rescore, admission)
-        is measured and included in the batch's service time.
+        is measured and included in the batch's service time.  A cache
+        disabled by a quality breach is bypassed entirely (dispatch at
+        the served width — no over-fetch, no admission).
         """
         if self.cache is None:
             return self._timed_dispatch(Qb)
+        if not self.cache.enabled:
+            return self._timed_dispatch(Qb, self.k_serve)
         t0 = time.perf_counter()
         hit, hd, hi = self.cache.lookup(Qb, now=now)
         cache_s = time.perf_counter() - t0
+        self._last_hit_mask = hit
         m = int(Qb.shape[0])
         dist = np.empty((m, self.k_serve))
         idx = np.empty((m, self.k_serve), dtype=np.int64)
@@ -330,6 +438,187 @@ class StreamingSearcher:
             dist[miss] = md[:, : self.k_serve]
             idx[miss] = mi[:, : self.k_serve]
         return dist, idx, service + cache_s
+
+    # -------------------------------------------------------- observability
+    def _disable_cache_on_breach(self) -> None:
+        """Quality-breach response: stop serving from the cache (its
+        certified radii are only as good as the index answers that were
+        admitted under them)."""
+        if self.cache is None or not self.cache.enabled:
+            return
+        self.cache.disable("quality breach")
+        if self.flight is not None:
+            self.flight.record_event(
+                "cache-disabled", reason="quality breach"
+            )
+
+    def _explain_shards(self) -> dict | None:
+        """Scatter-gather shape of the last dispatch (sharded subclass
+        stamps ``_last_wave``; the base dispatch clears it)."""
+        return self._last_wave
+
+    def _observe_batch(
+        self,
+        Qb: np.ndarray,
+        dist: np.ndarray,
+        idx: np.ndarray,
+        service: float,
+        now: float,
+        rules_before: dict,
+    ) -> None:
+        """The off-path observability pass for one served batch: digest
+        what the serve decided (router, cache, rules, shards), feed the
+        shadow oracle, and stock the flight rings."""
+        m = int(Qb.shape[0])
+        rules_delta = {
+            key: val - rules_before.get(key, 0)
+            for key, val in self.rule_counts.items()
+            if val != rules_before.get(key, 0)
+        }
+        hit_mask = self._last_hit_mask
+        all_hit = hit_mask is not None and bool(np.all(hit_mask))
+        dec = getattr(self.index, "last_decision", None)
+        rung = getattr(self.index, "rung", None)
+        if all_hit:
+            backend = "cache"
+        elif dec is not None:
+            backend = dec.backend
+        else:
+            backend = type(self.index).__name__
+        router_info = None
+        if dec is not None and not all_hit:
+            router_info = {
+                "backend": dec.backend,
+                "reason": dec.reason,
+                "predicted_s": dec.predicted_s,
+                "measured_s": dec.measured_s,
+                "budget_s": dec.budget_s,
+                "c_est": dec.c_est,
+            }
+            if hasattr(self.index, "predict_cost_s") and hasattr(
+                self.index, "backend_names"
+            ):
+                router_info["scores"] = {
+                    name: self.index.predict_cost_s(name, m, self.k_serve)
+                    for name in self.index.backend_names()
+                }
+        if self.cache is None:
+            cache_state = "off"
+        elif not self.cache.enabled:
+            cache_state = "disabled"
+        else:
+            cache_state = "on"
+        stats = getattr(self.index, "last_stats", None)
+        quant = getattr(stats, "quant", None) if stats is not None else None
+        if quant is not None and hasattr(quant, "to_dict"):
+            quant = quant.to_dict()
+        samples: dict[int, object] = {}
+        if self.quality is not None:
+            t_done = now + service
+            for s in self.quality.observe_batch(
+                Qb,
+                dist,
+                idx,
+                now=t_done,
+                backend=backend,
+                rung=int(rung) if rung is not None else 0,
+                cache_hit=hit_mask,
+            ):
+                samples[s.row] = s
+            self.quality.observe_rules(rules_delta, m)
+        self._batch_info = {
+            "m": m,
+            "service": service,
+            "now": now,
+            "backend": backend,
+            "rung": rung,
+            "router": router_info,
+            "rules": rules_delta,
+            "cache_state": cache_state,
+            "cache_detail": (
+                self.cache.last_lookup if cache_state == "on" else None
+            ),
+            "quant": quant,
+            "shards": self._explain_shards(),
+            "samples": samples,
+        }
+        if self.flight is not None:
+            self.flight.record_span(
+                "serve:batch",
+                ts=now,
+                dur_s=service,
+                size=m,
+                backend=backend,
+                **({"rung": int(rung)} if rung is not None else {}),
+            )
+            for s in samples.values():
+                self.flight.record_quality(s)
+            self.flight.record_explain(self._explain_from_info(row=None))
+
+    def _explain_from_info(
+        self, *, row: int | None, ticket: int | None = None
+    ) -> QueryExplain:
+        """Build a :class:`QueryExplain` for one row of the last observed
+        batch (or the whole batch, with ``row=None``)."""
+        info = self._batch_info or {}
+        cache_state = info.get("cache_state", "off")
+        cache_info: dict | None = None
+        if cache_state == "off":
+            cache_info = None
+        elif cache_state == "disabled":
+            cache_info = {"outcome": "disabled"}
+        else:
+            detail = info.get("cache_detail")
+            if detail is None:
+                cache_info = {"outcome": "miss"}
+            elif row is None:
+                hit = detail["hit"]
+                cache_info = {
+                    "outcome": "hit" if bool(np.all(hit)) else "miss",
+                    "hits": int(np.count_nonzero(hit)),
+                }
+            else:
+                hit = bool(detail["hit"][row])
+                delta = (
+                    float(detail["delta"][row])
+                    if detail.get("delta") is not None
+                    else None
+                )
+                radius = (
+                    float(detail["radius"][row])
+                    if detail.get("radius") is not None
+                    else None
+                )
+                if hit:
+                    outcome = "hit"
+                elif delta is not None and np.isfinite(delta):
+                    outcome = "reject"  # a key was near, but outside radius
+                else:
+                    outcome = "miss"
+                cache_info = {
+                    "outcome": outcome,
+                    "delta": delta if delta is not None and np.isfinite(delta) else None,
+                    "radius": radius if radius is not None and np.isfinite(radius) else None,
+                }
+        sample = info.get("samples", {}).get(row) if row is not None else None
+        rung = info.get("rung")
+        return QueryExplain(
+            ticket=ticket,
+            row=row,
+            k=self.k_serve,
+            backend=info.get("backend", ""),
+            rung=int(rung) if rung is not None else None,
+            batch_size=info.get("m", 0),
+            service_s=info.get("service", 0.0),
+            t=info.get("now", 0.0),
+            router=info.get("router"),
+            rules=info.get("rules", {}),
+            cache=cache_info,
+            quant=info.get("quant"),
+            shards=info.get("shards"),
+            sampled=sample is not None,
+            recall=sample.recall if sample is not None else None,
+        )
 
     def _observe_served(self, sojourns, now: float) -> None:
         """Per-dispatch telemetry: SLO samples first (a breach may back
@@ -385,13 +674,26 @@ class StreamingSearcher:
             span = qspans[row]
             if span is not None:
                 tracer.finish(span.set(batch=len(items)))
+            if ticket in self._explain_tickets:
+                self._explain_tickets.discard(ticket)
+                e = self._explain_from_info(row=row, ticket=ticket)
+                self._explains[ticket] = e
+                if self.flight is not None:
+                    self.flight.record_explain(e)
         self._observe_served([done_t - arr for _p, arr in items], done_t)
         return len(items), service
 
     # ------------------------------------------------------------- live API
-    def submit(self, q, *, now: float | None = None) -> int:
+    def submit(
+        self, q, *, now: float | None = None, explain: bool = False
+    ) -> int:
         """Enqueue one query; returns its ticket.  Dispatches inline when
-        the batcher's target fills or the latency budget demands it."""
+        the batcher's target fills or the latency budget demands it.
+
+        With ``explain=True`` the serving batch's decision digest is
+        captured for this ticket; collect it with :meth:`explain` once
+        the answer has been served.
+        """
         self._require_open()
         row = np.asarray(q, dtype=np.float64)
         if row.ndim == 2 and row.shape[0] == 1:
@@ -400,6 +702,8 @@ class StreamingSearcher:
             raise ValueError("submit() takes one query vector at a time")
         ticket = self._next_ticket
         self._next_ticket += 1
+        if explain:
+            self._explain_tickets.add(ticket)
         now = time.perf_counter() if now is None else float(now)
         tracer = self.ctx.tracer
         if tracer.enabled:
@@ -465,6 +769,23 @@ class StreamingSearcher:
         out = self._done
         self._done = {}
         return out
+
+    def explain(self, ticket: int) -> QueryExplain | None:
+        """The captured :class:`~repro.obs.explain.QueryExplain` for a
+        ticket submitted with ``explain=True`` (``None`` while it is
+        still queued); collecting forgets it."""
+        return self._explains.pop(ticket, None)
+
+    def explain_query(
+        self, q, *, now: float | None = None
+    ) -> tuple[np.ndarray, np.ndarray, QueryExplain]:
+        """One-shot convenience: submit one query with explain capture,
+        drain, and return ``(dist, idx, explain)``."""
+        ticket = self.submit(q, now=now, explain=True)
+        answers = self.drain()
+        dist, idx = answers.pop(ticket)
+        self._done.update(answers)  # other tickets stay collectible
+        return dist, idx, self._explains.pop(ticket)
 
     # ------------------------------------------------------- trace replay
     def search_stream(
@@ -612,6 +933,8 @@ class StreamingSearcher:
             # final snapshot at the makespan, so short streams still leave
             # at least one line behind
             self.metrics.dump_jsonl(metrics_jsonl, now=makespan)
+        if self.flight is not None and self.metrics is not None:
+            self.flight.record_metrics(self.metrics, now=makespan)
 
         report = collect_report(
             name or f"{type(self.index).__name__}:stream",
@@ -633,6 +956,9 @@ class StreamingSearcher:
             latency=LatencyStats.from_samples(sojourn),
             wait=LatencyStats.from_samples(wait),
             slo=self.slo.report() if self.slo is not None else None,
+            quality=(
+                self.quality.report() if self.quality is not None else None
+            ),
         )
         stream.rule_counts = stream_counts
         self._augment_report(stream)

@@ -497,6 +497,13 @@ class ShardedStreamingSearcher(StreamingSearcher):
         service = coord_wall + comm_s + (
             max(completions.values()) if completions else 0.0
         )
+        # EXPLAIN hook: scatter-gather shape of this dispatch
+        self._last_wave = {
+            "fan_out": len(walls),
+            "shards": sorted(walls),
+            "hedges": len(hedged),
+            "rounds": rounds,
+        }
 
         if self.metrics is not None:
             for w in walls:

@@ -342,6 +342,97 @@ class TestMetrics:
         text = reg.expose()
         assert 'h_seconds_bucket{idx="a",le="1"} 1' in text
 
+    @staticmethod
+    def _parse_exposition(text: str) -> dict[str, float]:
+        """Parse Prometheus text exposition into {sample_line_key: value}.
+
+        Every non-comment line must be ``name{labels} value`` (or bare
+        ``name value``); raises on anything malformed."""
+        out: dict[str, float] = {}
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            key, _, raw = line.rpartition(" ")
+            assert key, f"malformed sample line: {line!r}"
+            out[key] = float(raw)
+        return out
+
+    def test_exposition_conformance_large_counts(self):
+        # regression: %g formatting truncated values >= 1e6 to 6
+        # significant digits, so a bucket could expose 1.23457e+06 while
+        # _count exposed a different rounding of the same tally
+        reg = MetricsRegistry()
+        big = 12_345_678
+        reg.counter("c_total", "a big counter").inc(big)
+        h = reg.histogram(
+            "lat_seconds", "latency", labelnames=("shard",), buckets=(0.1,)
+        )
+        # seed this thread's shard as a long-lived serving process would
+        # have left it: `big` observations, all above the last edge
+        h._shard()[("0",)] = [[0], 0.5 * big, big]
+        samples = self._parse_exposition(reg.expose())
+        assert samples["c_total"] == big
+        assert samples['lat_seconds_bucket{shard="0",le="+Inf"}'] == big
+        assert samples['lat_seconds_count{shard="0"}'] == big
+
+    def test_exposition_conformance_histogram_invariants(self):
+        # the scrape-side contract: cumulative buckets are nondecreasing,
+        # the +Inf bucket equals _count, and _sum is the exact total —
+        # per labeled shard, parsed from the exposition text itself
+        reg = MetricsRegistry()
+        h = reg.histogram(
+            "svc_seconds", "per-shard service", labelnames=("shard",),
+            buckets=(0.01, 0.1, 1.0),
+        )
+        rng = np.random.default_rng(3)
+        totals = {}
+        for shard in ("0", "1"):
+            vals = rng.gamma(1.0, 0.05, size=257)
+            for v in vals:
+                h.observe(float(v), shard=shard)
+            totals[shard] = (len(vals), float(np.sum(vals)))
+        samples = self._parse_exposition(reg.expose())
+        for shard, (n, total) in totals.items():
+            edges = ["0.01", "0.1", "1", "+Inf"]
+            cum = [
+                samples[f'svc_seconds_bucket{{shard="{shard}",le="{e}"}}']
+                for e in edges
+            ]
+            assert cum == sorted(cum), "buckets must be cumulative"
+            assert cum[-1] == n == samples[f'svc_seconds_count{{shard="{shard}"}}']
+            assert samples[f'svc_seconds_sum{{shard="{shard}"}}'] == (
+                pytest.approx(total, rel=1e-12)
+            )
+
+    def test_exposition_conformance_values_round_trip(self):
+        # finite values must round-trip through the text exactly;
+        # specials render as the spec's +Inf / -Inf / NaN tokens
+        reg = MetricsRegistry()
+        cases = {
+            "g_tiny": 3.0000000000000004e-7,
+            "g_pi": 3.141592653589793,
+            "g_big_int": 9_007_199_254_740_992.0,
+            "g_neg": -123456789.25,
+        }
+        for name, val in cases.items():
+            reg.gauge(name).set(val)
+        reg.gauge("g_inf").set(float("inf"))
+        reg.gauge("g_ninf").set(float("-inf"))
+        text = reg.expose()
+        samples = self._parse_exposition(text)
+        for name, val in cases.items():
+            assert samples[name] == val, name
+        assert "g_inf +Inf" in text
+        assert "g_ninf -Inf" in text
+
+    def test_exposition_escapes_label_values(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", labelnames=("path",)).inc(
+            1, path='a"b\\c\nd'
+        )
+        text = reg.expose()
+        assert 'c_total{path="a\\"b\\\\c\\nd"} 1' in text
+
     def test_snapshot_and_jsonl(self, tmp_path):
         reg = MetricsRegistry()
         reg.counter("c_total").inc(4)

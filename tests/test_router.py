@@ -140,6 +140,33 @@ def test_observe_report_ingestion(router, data):
     assert router.predict_cost_s("rbc-exact", 1, 2) > 0
 
 
+def test_observe_report_is_idempotent_per_report(data):
+    """Regression: re-observing one RunReport must not double-count.
+
+    The EWMA is a weighted average, so feeding the same report twice
+    (two harness layers both handing it back) used to keep pulling the
+    model toward that one sample.  Observations are now deduplicated by
+    ``report.report_id``."""
+    from repro.eval import traced_query
+
+    router = Router(seed=0, calibrate=False).build(data)
+    exact = router.backend("rbc-exact")
+    r1 = traced_query(exact, data[:32], [], k=2, name="probe-a")
+    r2 = traced_query(exact, data[:16], [], k=2, name="probe-b")
+    assert r1.report_id != r2.report_id
+    router.observe_report("rbc-exact", r1)
+    router.observe_report("rbc-exact", r2)
+    settled = router.predict_cost_s("rbc-exact", 64, 2)
+    # the duplicate is dropped: the prediction does not move again
+    router.observe_report("rbc-exact", r2)
+    router.observe_report("rbc-exact", r2)
+    assert router.predict_cost_s("rbc-exact", 64, 2) == settled
+    # a genuinely fresh report is still ingested
+    r3 = traced_query(exact, data[:8], [], k=2, name="probe-c")
+    router.observe_report("rbc-exact", r3)
+    assert r3.report_id in router._seen_reports
+
+
 def test_router_memory_footprint_sums_backends(router):
     total = router.memory_footprint()
     parts = sum(
